@@ -1,0 +1,19 @@
+"""E11 — fermion discretisation comparison (the MILC/Chroma/DWF triangle)."""
+
+from __future__ import annotations
+
+from repro.bench.e11_discretizations import e11_discretizations
+
+
+def test_e11_discretizations(benchmark, show):
+    table, rows = benchmark.pedantic(e11_discretizations, rounds=1, iterations=1)
+    show(table, "e11_discretizations.txt")
+    by_name = {r["operator"].split(" ")[0]: r for r in rows}
+    assert all(r["converged"] for r in rows)
+    # Paper shape 1: staggered is the cheap discretisation (fewer dof/site).
+    assert by_name["staggered"]["flops_per_site"] < by_name["wilson"]["flops_per_site"] / 2
+    assert by_name["staggered"]["t_solve"] < by_name["wilson"]["t_solve"]
+    # Paper shape 2: clover costs slightly more than Wilson per application.
+    assert by_name["clover"]["flops_per_site"] > by_name["wilson"]["flops_per_site"]
+    # Paper shape 3: domain wall costs ~Ls Wilson applications.
+    assert by_name["domain"]["flops_per_site"] > 4 * by_name["wilson"]["flops_per_site"]

@@ -1,0 +1,16 @@
+"""E12 — deflation ablation: iterations vs deflated-mode count."""
+
+from __future__ import annotations
+
+from repro.bench.e12_deflation import e12_deflation
+
+
+def test_e12_deflation(benchmark, show):
+    table, rows = benchmark.pedantic(e12_deflation, rounds=1, iterations=1)
+    show(table, "e12_deflation.txt")
+    assert all(r["converged"] for r in rows)
+    iters = [r["iterations"] for r in rows]
+    # More deflated modes, fewer (or equal) iterations; full deflation of the
+    # cluster at least halves the count.
+    assert all(b <= a for a, b in zip(iters, iters[1:]))
+    assert iters[-1] < iters[0] / 2

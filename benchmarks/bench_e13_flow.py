@@ -1,0 +1,22 @@
+"""E13 — Wilson flow: scale setting and smoothing comparison."""
+
+from __future__ import annotations
+
+from repro.bench.e13_flow import e13_flow
+
+
+def test_e13_flow(benchmark, show):
+    table, data = benchmark.pedantic(e13_flow, rounds=1, iterations=1)
+    show(table, "e13_flow.txt")
+    history = data["history"]
+    energies = [p.energy for p in history]
+    # Gradient flow: energy density strictly decreasing.
+    assert all(b < a for a, b in zip(energies, energies[1:]))
+    # t^2 E rises from zero and crosses the 0.3 reference on this rough
+    # ensemble within the flowed window.
+    assert data["t0"] is not None
+    # All smoothers raise the plaquette above the thermal value.
+    plaq = data["plaquettes"]
+    for name, value in plaq.items():
+        if name != "none":
+            assert value > plaq["none"], name

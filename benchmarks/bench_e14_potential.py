@@ -1,0 +1,20 @@
+"""E14 — static quark potential (the confinement figure)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.e14_potential import e14_static_potential
+
+
+def test_e14_static_potential(benchmark, show):
+    table, data = benchmark.pedantic(e14_static_potential, rounds=1, iterations=1)
+    show(table, "e14_potential.txt")
+    v = data["v_t1"]
+    # Confinement: positive, monotonically rising potential.
+    assert np.all(np.isfinite(v))
+    assert v[0] > 0
+    assert all(b > a for a, b in zip(v, v[1:]))
+    # Loop matrix decays with area.
+    w = data["loops"]
+    assert w[0, 0] > w[1, 1] > w[2, 2] > 0

@@ -1,0 +1,16 @@
+"""E15 — update-algorithm autocorrelation comparison."""
+
+from __future__ import annotations
+
+from repro.bench.e15_autocorr import e15_autocorrelation
+
+
+def test_e15_autocorrelation(benchmark, show):
+    table, rows = benchmark.pedantic(e15_autocorrelation, rounds=1, iterations=1)
+    show(table, "e15_autocorr.txt")
+    hb, hbor = rows
+    # Both streams sample the same physics...
+    assert abs(hb["plaquette"] - hbor["plaquette"]) < 0.01
+    # ...but overrelaxation decorrelates: tau_int drops, N_eff rises.
+    assert hbor["tau_int"] <= hb["tau_int"]
+    assert hbor["n_eff"] >= 0.8 * hb["n_eff"]

@@ -1,0 +1,42 @@
+"""E1 — Table 1: single-node Dslash performance.
+
+Micro-benchmarks of the hopping kernel per volume/precision (statistical,
+via pytest-benchmark) plus the paper-style table from the E1 driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import e1_dslash_performance
+from repro.dirac.hopping import hopping_term
+from repro.fields import GaugeField, random_fermion
+from repro.lattice import Lattice4D
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+
+@pytest.mark.parametrize("shape", [(4, 4, 4, 4), (8, 8, 4, 4), (8, 8, 8, 8)])
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
+def test_dslash_kernel(benchmark, shape, dtype):
+    lat = Lattice4D(shape)
+    gauge = GaugeField.hot(lat, rng=1, dtype=dtype)
+    psi = random_fermion(lat, rng=2, dtype=dtype)
+    result = benchmark(hopping_term, gauge.u, psi)
+    assert result.shape == psi.shape
+    benchmark.extra_info["sites"] = lat.volume
+    benchmark.extra_info["nominal_flops"] = lat.volume * WILSON_DSLASH_FLOPS_PER_SITE
+
+
+def test_e1_table(benchmark, show):
+    table, rows = benchmark.pedantic(
+        e1_dslash_performance, kwargs={"repeats": 2}, rounds=1, iterations=1
+    )
+    show(table, "e1_dslash.txt")
+    # fp32 must not be slower than fp64 by more than noise (it moves half
+    # the bytes); assert the qualitative shape only.
+    by_prec = {}
+    for r in rows:
+        by_prec.setdefault(r["precision"], []).append(r["sites_per_s"])
+    assert len(rows) > 0
+    assert all(r["sites_per_s"] > 0 for r in rows)

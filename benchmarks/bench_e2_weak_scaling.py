@@ -1,0 +1,15 @@
+"""E2 — Fig. 1: weak scaling of the Dslash on the modelled BlueGene/Q."""
+
+from __future__ import annotations
+
+from repro.bench import e2_weak_scaling
+
+
+def test_e2_weak_scaling(benchmark, show):
+    table, points = benchmark.pedantic(e2_weak_scaling, rounds=1, iterations=1)
+    show(table, "e2_weak_scaling.txt")
+    # Paper shape: near-flat per-node rate to ~10^6 cores (2^16 nodes here),
+    # with aggregate performance in the petaflop range at the top end.
+    assert points[0].efficiency == 1.0
+    assert all(p.efficiency > 0.5 for p in points)
+    assert points[-1].aggregate_flops > 1e15  # petascale

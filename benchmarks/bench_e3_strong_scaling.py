@@ -1,0 +1,16 @@
+"""E3 — Fig. 2: strong scaling of a 96 x 48^3 lattice on modelled BG/Q."""
+
+from __future__ import annotations
+
+from repro.bench import e3_strong_scaling
+
+
+def test_e3_strong_scaling(benchmark, show):
+    table, points = benchmark.pedantic(e3_strong_scaling, rounds=1, iterations=1)
+    show(table, "e3_strong_scaling.txt")
+    times = [p.time_dslash for p in points]
+    # Time-to-solution falls monotonically ...
+    assert all(b < a for a, b in zip(times, times[1:]))
+    # ... but efficiency decays and communication share rises (the crossover).
+    assert points[-1].efficiency < points[0].efficiency
+    assert points[-1].comm_fraction > points[0].comm_fraction

@@ -1,0 +1,22 @@
+"""E6 — Table 3: measured halo traffic and modelled communication share."""
+
+from __future__ import annotations
+
+from repro.bench import e6_comm_fraction
+
+
+def test_e6_comm_fraction(benchmark, show):
+    table, rows = benchmark.pedantic(e6_comm_fraction, rounds=1, iterations=1)
+    show(table, "e6_comm_fraction.txt")
+    # Surface-to-volume law: smaller local blocks, larger comm share.
+    sv = [r["surface_to_volume"] for r in rows]
+    frac = [r["comm_fraction_no_overlap"] for r in rows]
+    assert all(b >= a for a, b in zip(sv, sv[1:]))
+    assert all(b >= a - 1e-12 for a, b in zip(frac, frac[1:]))
+    # Overlap strictly helps wherever there is communication.
+    for r in rows:
+        if r["comm_fraction_no_overlap"] > 0:
+            assert r["comm_fraction_overlap"] < r["comm_fraction_no_overlap"]
+    # Measured message counts: 2 per decomposed axis per rank.
+    assert rows[0]["messages_per_rank"] == 0
+    assert rows[-1]["messages_per_rank"] == 8

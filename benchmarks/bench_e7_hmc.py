@@ -1,0 +1,33 @@
+"""E7 — Fig. 4: plaquette vs beta and dH vs step size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import e7_dh_scaling, e7_hmc_validation
+
+
+def test_e7_plaquette_vs_beta(benchmark, show):
+    table, rows = benchmark.pedantic(e7_hmc_validation, rounds=1, iterations=1)
+    show(table, "e7_plaquette.txt")
+    by_beta = {r["beta"]: r for r in rows}
+    # Strong coupling: <plaq> ~ beta/18.
+    assert by_beta[0.5]["plaquette"] == np.float64(by_beta[0.5]["plaquette"])
+    assert abs(by_beta[0.5]["plaquette"] - 0.5 / 18) < 0.02
+    assert abs(by_beta[1.0]["plaquette"] - 1.0 / 18) < 0.02
+    # Literature anchor: quenched beta = 5.7 plaquette ~ 0.549.
+    assert abs(by_beta[5.7]["plaquette"] - 0.549) < 0.03
+    # Monotone rise toward the weak-coupling limit.
+    plaqs = [r["plaquette"] for r in rows]
+    assert all(b > a for a, b in zip(plaqs, plaqs[1:]))
+
+
+def test_e7_dh_scaling(benchmark, show):
+    table, rows = benchmark.pedantic(e7_dh_scaling, rounds=1, iterations=1)
+    show(table, "e7_dh_scaling.txt")
+    # eps^2 law: quartering |dH| per halving of eps, within integrator noise.
+    dh = [r["leapfrog"] for r in rows]
+    for a, b in zip(dh, dh[1:]):
+        assert 2.0 < a / b < 8.0
+    # Omelyan's smaller coefficient at every step size.
+    assert all(r["omelyan"] < r["leapfrog"] for r in rows)

@@ -1,0 +1,23 @@
+"""E8 — Fig. 5: the quenched hadron spectrum ("the origin of mass")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import e8_spectrum
+
+
+def test_e8_spectrum(benchmark, show):
+    table, rows = benchmark.pedantic(e8_spectrum, rounds=1, iterations=1)
+    show(table, "e8_spectrum.txt")
+    assert len(rows) == 2
+    light, heavy = rows
+    # Pion mass grows with quark mass; masses are physical (positive, < cutoff-ish).
+    assert 0 < light["m_pi"] < heavy["m_pi"] < 4.0
+    # GMOR direction: m_pi^2 roughly linear => ratio of m_pi^2 below ratio of
+    # a naive linear-in-m_pi growth.
+    assert heavy["m_pi_sq"] / light["m_pi_sq"] < (heavy["quark_mass"] / light["quark_mass"]) * 2.5
+    # The headline: the nucleon outweighs three bare quarks (binding energy).
+    for r in rows:
+        if np.isfinite(r["m_nucleon"]):
+            assert r["m_nucleon"] > 1.05 * r["m_pi"]

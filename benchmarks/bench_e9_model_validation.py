@@ -1,0 +1,19 @@
+"""E9 — Table 4: machine-model validation against this host."""
+
+from __future__ import annotations
+
+from repro.bench import e9_model_validation
+
+
+def test_e9_model_validation(benchmark, show):
+    table, rows = benchmark.pedantic(
+        e9_model_validation, kwargs={"repeats": 2}, rounds=1, iterations=1
+    )
+    show(table, "e9_model_validation.txt")
+    # The calibrated model must track measured times within a factor ~3
+    # across a 16x volume range (numpy throughput drifts with array size).
+    for r in rows:
+        assert 1 / 3 <= r["ratio"] <= 3.0, r
+    # BG/Q projection: tuned hardware is orders of magnitude faster than numpy.
+    for r in rows:
+        assert r["bgq_model_seconds"] < r["measured_seconds"]

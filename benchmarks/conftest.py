@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing: result capture and live table printing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def show(capsys, results_dir):
+    """Print a rendered table to the live terminal and archive it."""
+
+    def _show(table, filename: str) -> None:
+        text = table.render()
+        with capsys.disabled():
+            print("\n" + text + "\n")
+        (results_dir / filename).write_text(text + "\n")
+
+    return _show

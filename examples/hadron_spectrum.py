@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The origin of mass: compute hadron masses from the QCD path integral.
+
+Generates a small quenched ensemble with heatbath + overrelaxation, solves
+for quark propagators, contracts pion / rho / nucleon correlators, and
+extracts masses.  The headline: hadron masses vastly exceed the quark
+masses that enter — the difference is QCD binding energy, the origin of
+~98% of the mass of visible matter.
+
+Run:  python examples/hadron_spectrum.py          (about a minute)
+"""
+
+import numpy as np
+
+from repro.bench.e8_spectrum import generate_quenched_config
+from repro.lattice import Lattice4D
+from repro.measure import cosh_effective_mass, measure_spectrum
+from repro.measure.observables import gauge_observables
+
+
+def main() -> None:
+    shape = (12, 4, 4, 4)
+    beta = 5.9
+    quark_mass = 0.35
+
+    print(f"generating quenched configuration: {Lattice4D(shape)} at beta = {beta} ...")
+    gauge = generate_quenched_config(shape, beta, n_therm=40, rng=2024)
+    obs = gauge_observables(gauge)
+    print(f"  <plaquette>   = {obs['plaquette']:.4f}")
+    print(f"  |Polyakov|    = {obs['polyakov_abs']:.4f} (confined: small)")
+
+    print(f"\nmeasuring spectrum at bare quark mass {quark_mass} (12 Dirac solves) ...")
+    res = measure_spectrum(gauge, quark_mass, tol=1e-8, fit_window=(2, 5))
+    print(res.summary())
+
+    print("\npion effective mass by timeslice (cosh-corrected):")
+    meff = cosh_effective_mass(res.correlators["pion"])
+    for t, m in enumerate(meff):
+        bar = "#" * int(m * 40) if np.isfinite(m) else ""
+        label = f"{m:.4f}" if np.isfinite(m) else "  -   "
+        print(f"  t = {t:2d}   m_eff = {label}  {bar}")
+
+    m_n = res.nucleon.mass if res.nucleon else float("nan")
+    print("\nthe origin of mass:")
+    print(f"  input quark masses  : 3 x {quark_mass} = {3 * quark_mass:.3f} (bare, lattice units)")
+    print(f"  measured nucleon    : {m_n:.3f}")
+    print("  the excess is QCD binding energy — computed, not put in.")
+
+
+if __name__ == "__main__":
+    main()

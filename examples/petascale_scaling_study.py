@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's scaling study: Wilson Dslash on a modelled BlueGene/Q torus.
+
+Reproduces the headline figures of the SC'13 evaluation: weak scaling to
+~10^6 cores at fixed local volume, strong scaling of a production-sized
+96 x 48^3 lattice, the roofline that makes the stencil bandwidth-bound, and
+the communication fractions that set the strong-scaling limit.  Everything
+here is the analytic machine model driven by real, validated message sizes
+and flop counts — see DESIGN.md for the substitution rationale.
+
+Run:  python examples/petascale_scaling_study.py
+"""
+
+from repro import BLUEGENE_Q, GENERIC_CLUSTER
+from repro.bench import e2_weak_scaling, e3_strong_scaling, e6_comm_fraction
+from repro.machine import roofline_report
+from repro.util import Table, format_si
+
+
+def main() -> None:
+    # 1. The machine and the kernel's roofline position.
+    rep = roofline_report(BLUEGENE_Q)
+    t = Table(
+        f"Roofline — Wilson Dslash on {BLUEGENE_Q.name}",
+        ["quantity", "value"],
+    )
+    t.add_row(["node peak", format_si(rep["peak"], "F/s")])
+    t.add_row(["node memory bandwidth", format_si(rep["mem_bandwidth"], "B/s")])
+    t.add_row(["arithmetic intensity fp64", f"{rep['ai_fp64']:.3f} F/B"])
+    t.add_row(["arithmetic intensity fp32", f"{rep['ai_fp32']:.3f} F/B"])
+    t.add_row(["attainable fp64", format_si(rep["attainable_fp64"], "F/s")])
+    t.add_row(["attainable fp32", format_si(rep["attainable_fp32"], "F/s")])
+    t.add_row(["fp32 speedup (why mixed precision wins)", f"{rep['fp32_speedup']:.2f}x"])
+    print(t.render())
+    print()
+
+    # 2. Weak scaling (Fig. 1): flat GF/s/node to a petaflop aggregate.
+    table, points = e2_weak_scaling()
+    print(table.render())
+    top = points[-1]
+    print(
+        f"\n  -> at {top.nodes} nodes ({top.nodes * BLUEGENE_Q.cores_per_node} cores): "
+        f"{format_si(top.aggregate_flops, 'F/s')} sustained, "
+        f"{top.efficiency:.1%} parallel efficiency\n"
+    )
+
+    # 3. Strong scaling (Fig. 2): the communication-bound crossover.
+    table, points = e3_strong_scaling()
+    print(table.render())
+    crossover = next((p for p in points if p.comm_fraction > 0.5), None)
+    if crossover:
+        print(
+            f"\n  -> communication exceeds compute at {crossover.nodes} nodes "
+            f"(local block {'x'.join(map(str, crossover.local_shape))})\n"
+        )
+
+    # 4. Comm fraction vs local volume (Table 3), with measured halo bytes.
+    table, _ = e6_comm_fraction()
+    print(table.render())
+
+    # 5. The same study on a commodity cluster for contrast.
+    table, _ = e2_weak_scaling(spec=GENERIC_CLUSTER, max_nodes_log2=10)
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package, where PEP-517 ``pip install -e .`` cannot build metadata).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""repro — a complete lattice QCD stack in Python.
+
+Reproduction of the SC 2013 petascale lattice-QCD scaling paper "The origin
+of mass": SU(3) gauge fields, Wilson / clover / domain-wall Dirac operators
+with the spin-projection and even-odd tricks, mixed-precision Krylov solvers,
+Hybrid Monte Carlo and heatbath gauge generation, hadron spectroscopy, and a
+virtual-MPI + machine-model layer that reproduces the paper's weak/strong
+scaling study on a simulated BlueGene/Q torus.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Lattice4D, GaugeField, WilsonDirac, cg, random_fermion
+
+    lat = Lattice4D((8, 4, 4, 4))
+    gauge = GaugeField.hot(lat, rng=7)
+    dirac = WilsonDirac(gauge, mass=0.1)
+    b = random_fermion(lat, rng=11)
+    result = cg(dirac.normal_op(), dirac.apply_dagger(b), tol=1e-8)
+
+Subpackages: :mod:`repro.su3`, :mod:`repro.gammas`, :mod:`repro.lattice`,
+:mod:`repro.fields`, :mod:`repro.comm`, :mod:`repro.dirac`,
+:mod:`repro.solvers`, :mod:`repro.machine`, :mod:`repro.hmc`,
+:mod:`repro.measure`, :mod:`repro.io`, :mod:`repro.bench`.
+"""
+
+from repro.lattice import Lattice4D
+from repro.fields import GaugeField, zero_fermion, random_fermion, point_source
+from repro.dirac import (
+    WilsonDirac,
+    CloverDirac,
+    DomainWallDirac,
+    TwistedMassDirac,
+    StaggeredDirac,
+    EvenOddWilson,
+    DecomposedWilsonDirac,
+)
+from repro.solvers import (
+    cg,
+    bicgstab,
+    gcr,
+    multishift_cg,
+    mixed_precision_cg,
+    solve_wilson,
+    solve_wilson_eo,
+    lanczos,
+    deflated_cg,
+    cg_spmd,
+    SolveResult,
+)
+from repro.comm import RankGrid, VirtualComm, TorusTopology
+from repro.hmc import (
+    HMC,
+    WilsonGaugeAction,
+    ImprovedGaugeAction,
+    TwoFlavorWilsonAction,
+    OneFlavorWilsonAction,
+    heatbath_sweep,
+    overrelaxation_sweep,
+)
+from repro.smear import ape_smear, stout_smear, wilson_flow, find_t0
+from repro.gaugefix import gauge_fix
+from repro.stats import jackknife, bootstrap, integrated_autocorrelation_time
+from repro.measure import (
+    average_plaquette,
+    polyakov_loop,
+    meson_correlator,
+    pion_correlator,
+    nucleon_correlator,
+    effective_mass,
+    cosh_effective_mass,
+    fit_cosh,
+    measure_spectrum,
+)
+from repro.machine import (
+    MachineSpec,
+    BLUEGENE_Q,
+    GENERIC_CLUSTER,
+    scaling_study,
+    weak_scaling,
+    strong_scaling,
+)
+from repro.io import save_gauge, load_gauge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Lattice4D",
+    "GaugeField",
+    "zero_fermion",
+    "random_fermion",
+    "point_source",
+    "WilsonDirac",
+    "CloverDirac",
+    "DomainWallDirac",
+    "TwistedMassDirac",
+    "StaggeredDirac",
+    "EvenOddWilson",
+    "DecomposedWilsonDirac",
+    "cg",
+    "bicgstab",
+    "gcr",
+    "multishift_cg",
+    "mixed_precision_cg",
+    "solve_wilson",
+    "solve_wilson_eo",
+    "lanczos",
+    "deflated_cg",
+    "cg_spmd",
+    "SolveResult",
+    "RankGrid",
+    "VirtualComm",
+    "TorusTopology",
+    "HMC",
+    "WilsonGaugeAction",
+    "ImprovedGaugeAction",
+    "TwoFlavorWilsonAction",
+    "OneFlavorWilsonAction",
+    "heatbath_sweep",
+    "overrelaxation_sweep",
+    "ape_smear",
+    "stout_smear",
+    "wilson_flow",
+    "find_t0",
+    "gauge_fix",
+    "jackknife",
+    "bootstrap",
+    "integrated_autocorrelation_time",
+    "average_plaquette",
+    "polyakov_loop",
+    "meson_correlator",
+    "pion_correlator",
+    "nucleon_correlator",
+    "effective_mass",
+    "cosh_effective_mass",
+    "fit_cosh",
+    "measure_spectrum",
+    "MachineSpec",
+    "BLUEGENE_Q",
+    "GENERIC_CLUSTER",
+    "scaling_study",
+    "weak_scaling",
+    "strong_scaling",
+    "save_gauge",
+    "load_gauge",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""E1 — Table 1: single-node Dslash performance.
+
+Measured sites/s and nominal MF/s of the Python Wilson Dslash per local
+volume and precision, next to the arithmetic intensity the roofline
+assigns.  The paper's table reports the same rows for the QPX kernel; the
+absolute numbers differ by the Python-vs-assembly gap, the volume and
+precision *trends* are the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dirac.hopping import hopping_term
+from repro.fields import GaugeField, random_fermion
+from repro.lattice import Lattice4D
+from repro.machine.roofline import dslash_arithmetic_intensity
+from repro.util import Table
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+__all__ = ["e1_dslash_performance"]
+
+DEFAULT_VOLUMES = [(4, 4, 4, 4), (8, 4, 4, 4), (8, 8, 4, 4), (8, 8, 8, 4), (8, 8, 8, 8)]
+
+
+def _time_kernel(lattice: Lattice4D, dtype, repeats: int = 3) -> float:
+    gauge = GaugeField.hot(lattice, rng=11, dtype=dtype)
+    psi = random_fermion(lattice, rng=12, dtype=dtype)
+    hopping_term(gauge.u, psi)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        hopping_term(gauge.u, psi)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def e1_dslash_performance(
+    volumes: list[tuple[int, int, int, int]] | None = None,
+    repeats: int = 3,
+) -> tuple[Table, list[dict]]:
+    """Run the E1 sweep; returns (table, raw rows)."""
+    volumes = volumes or DEFAULT_VOLUMES
+    table = Table(
+        "E1 / Table 1 — single-node Wilson Dslash performance (this host, numpy kernel)",
+        ["local volume", "sites", "prec", "t/apply [s]", "Msites/s", "MF/s", "AI [F/B]"],
+    )
+    rows = []
+    for shape in volumes:
+        lat = Lattice4D(shape)
+        for dtype, prec, prec_bytes in [
+            (np.complex128, "fp64", 8),
+            (np.complex64, "fp32", 4),
+        ]:
+            t = _time_kernel(lat, dtype, repeats)
+            sites_s = lat.volume / t
+            flops_s = sites_s * WILSON_DSLASH_FLOPS_PER_SITE
+            row = {
+                "volume": shape,
+                "sites": lat.volume,
+                "precision": prec,
+                "seconds": t,
+                "sites_per_s": sites_s,
+                "flops_per_s": flops_s,
+                "arithmetic_intensity": dslash_arithmetic_intensity(prec_bytes),
+            }
+            rows.append(row)
+            table.add_row(
+                [
+                    "x".join(map(str, shape)),
+                    lat.volume,
+                    prec,
+                    t,
+                    sites_s / 1e6,
+                    flops_s / 1e6,
+                    row["arithmetic_intensity"],
+                ]
+            )
+    return table, rows

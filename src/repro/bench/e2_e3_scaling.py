@@ -1,0 +1,61 @@
+"""E2/E3 — Figures 1 & 2: weak and strong scaling on the modelled BG/Q.
+
+The series printed here are the paper's scaling curves: aggregate sustained
+TF/s vs nodes at fixed local volume (weak), and time per Dslash / parallel
+efficiency vs nodes at fixed global volume (strong), including the
+communication-bound collapse at tiny local volumes.
+"""
+
+from __future__ import annotations
+
+from repro.machine.scaling import ScalingPoint, strong_scaling, weak_scaling
+from repro.machine.spec import BLUEGENE_Q, MachineSpec
+from repro.util import Table
+
+__all__ = ["e2_weak_scaling", "e3_strong_scaling"]
+
+
+def _table(title: str, points: list[ScalingPoint]) -> Table:
+    t = Table(title, ScalingPoint.columns())
+    for p in points:
+        t.add_row(p.row())
+    return t
+
+
+def e2_weak_scaling(
+    spec: MachineSpec = BLUEGENE_Q,
+    local_shape: tuple[int, int, int, int] = (8, 8, 8, 8),
+    max_nodes_log2: int = 20,
+) -> tuple[Table, list[ScalingPoint]]:
+    """Weak scaling 1 -> 2^20 nodes at fixed 8^4 local volume."""
+    counts = [2**k for k in range(0, max_nodes_log2 + 1, 2)]
+    points = weak_scaling(spec, local_shape, counts)
+    title = (
+        f"E2 / Fig. 1 — weak scaling, {spec.name}, "
+        f"local {'x'.join(map(str, local_shape))} per node"
+    )
+    return _table(title, points), points
+
+
+def e3_strong_scaling(
+    spec: MachineSpec = BLUEGENE_Q,
+    global_shape: tuple[int, int, int, int] = (96, 48, 48, 48),
+    max_nodes_log2: int = 16,
+) -> tuple[Table, list[ScalingPoint]]:
+    """Strong scaling of a production-sized 96 x 48^3 lattice."""
+    counts = []
+    for k in range(0, max_nodes_log2 + 1, 2):
+        n = 2**k
+        try:
+            from repro.machine.scaling import balanced_rank_grid
+
+            balanced_rank_grid(global_shape, n)
+            counts.append(n)
+        except ValueError:
+            break
+    points = strong_scaling(spec, global_shape, counts)
+    title = (
+        f"E3 / Fig. 2 — strong scaling, {spec.name}, "
+        f"global {'x'.join(map(str, global_shape))}"
+    )
+    return _table(title, points), points

@@ -1,0 +1,93 @@
+"""E6 — Table 3: communication fraction versus local volume.
+
+Two inputs meet here: *measured* halo traffic from the virtual MPI trace of
+the real decomposed Dslash, and the *modelled* exposed-communication
+fraction on BG/Q with and without overlap.  The reproduced shape is the
+surface-to-volume law: comm share grows as the local block shrinks, and
+overlap pushes the crossover to smaller blocks.
+"""
+
+from __future__ import annotations
+
+from repro.comm import RankGrid, VirtualComm
+from repro.dirac import DecomposedWilsonDirac
+from repro.fields import GaugeField, random_fermion
+from repro.lattice import Lattice4D
+from repro.machine.model import DslashModel
+from repro.machine.spec import BLUEGENE_Q, MachineSpec
+from repro.util import Table, format_bytes
+
+__all__ = ["e6_comm_fraction"]
+
+#: (global lattice, rank grid) pairs giving shrinking local volumes.
+DEFAULT_CASES = [
+    ((8, 8, 8, 8), (1, 1, 1, 1)),
+    ((8, 8, 8, 8), (2, 1, 1, 1)),
+    ((8, 8, 8, 8), (2, 2, 1, 1)),
+    ((8, 8, 8, 8), (2, 2, 2, 1)),
+    ((8, 8, 8, 8), (2, 2, 2, 2)),
+]
+
+
+def e6_comm_fraction(
+    cases=None, spec: MachineSpec = BLUEGENE_Q, seed: int = 44
+) -> tuple[Table, list[dict]]:
+    cases = cases or DEFAULT_CASES
+    table = Table(
+        f"E6 / Table 3 — halo traffic (measured) and comm fraction (modelled, {spec.name})",
+        [
+            "local",
+            "ranks",
+            "msgs/rank",
+            "bytes/rank",
+            "surf/vol",
+            "comm frac (no ovl)",
+            "comm frac (ovl)",
+        ],
+    )
+    rows = []
+    for global_shape, grid_dims in cases:
+        lat = Lattice4D(global_shape)
+        grid = RankGrid(grid_dims)
+        comm = VirtualComm(grid)
+        gauge = GaugeField.hot(lat, rng=seed)
+        op = DecomposedWilsonDirac(gauge, mass=0.1, comm=comm)
+        comm.trace.clear()
+        op.apply(random_fermion(lat, rng=seed + 1))
+
+        local = lat.local_shape(grid_dims)
+        local_volume = 1
+        for n in local:
+            local_volume *= n
+        surface = 0
+        for mu in grid.decomposed_axes():
+            surface += 2 * (local_volume // local[mu])
+        msgs = comm.trace.messages_per_rank(0)
+        nbytes = comm.trace.halo_bytes_per_rank(0)
+
+        model_no = DslashModel(
+            spec.with_overlap(0.0), local, grid.decomposed_axes() or ()
+        )
+        model_ov = DslashModel(spec, local, grid.decomposed_axes() or ())
+        row = {
+            "local": local,
+            "ranks": grid.nranks,
+            "messages_per_rank": msgs,
+            "bytes_per_rank": nbytes,
+            "surface_to_volume": surface / local_volume,
+            "comm_fraction_no_overlap": model_no.comm_fraction(),
+            "comm_fraction_overlap": model_ov.comm_fraction(),
+        }
+        rows.append(row)
+        table.add_row(
+            [
+                "x".join(map(str, local)),
+                grid.nranks,
+                msgs,
+                format_bytes(nbytes),
+                row["surface_to_volume"],
+                row["comm_fraction_no_overlap"],
+                row["comm_fraction_overlap"],
+            ]
+        )
+    return table, rows

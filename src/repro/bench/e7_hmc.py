@@ -1,0 +1,87 @@
+"""E7 — Figure 4: gauge-generation validation.
+
+Two series: (a) <plaquette> versus beta from our heatbath against the
+strong-coupling expansion (beta/18 at small beta) and the weak-coupling
+behaviour (-> 1 at large beta); (b) |dH| versus step size for leapfrog and
+Omelyan at fixed trajectory length, exhibiting the eps^2 law and Omelyan's
+smaller coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GaugeField
+from repro.hmc import WilsonGaugeAction, heatbath_sweep, kinetic_energy, leapfrog, omelyan, sample_momenta
+from repro.lattice import Lattice4D
+from repro.loops import average_plaquette
+from repro.util import Table
+
+__all__ = ["e7_hmc_validation", "e7_dh_scaling"]
+
+
+def e7_hmc_validation(
+    betas: list[float] | None = None,
+    shape: tuple[int, int, int, int] = (4, 4, 4, 4),
+    n_therm: int = 25,
+    n_meas: int = 25,
+    seed: int = 55,
+) -> tuple[Table, list[dict]]:
+    """<plaquette>(beta) from heatbath vs analytic limits."""
+    betas = betas or [0.5, 1.0, 2.0, 5.7, 8.0]
+    table = Table(
+        "E7a / Fig. 4 — <plaquette> vs beta (heatbath, 4^4)",
+        ["beta", "<plaq>", "strong-coupling beta/18", "weak-coupling 1-2/beta"],
+    )
+    rows = []
+    rng = np.random.default_rng(seed)
+    for beta in betas:
+        gauge = GaugeField.hot(Lattice4D(shape), rng=rng)
+        for _ in range(n_therm):
+            heatbath_sweep(gauge, beta, rng)
+        acc = 0.0
+        for _ in range(n_meas):
+            heatbath_sweep(gauge, beta, rng)
+            acc += average_plaquette(gauge.u)
+        plaq = acc / n_meas
+        row = {
+            "beta": beta,
+            "plaquette": plaq,
+            "strong_coupling": beta / 18.0,
+            "weak_coupling": 1.0 - 2.0 / beta if beta > 2 else float("nan"),
+        }
+        rows.append(row)
+        table.add_row([beta, plaq, row["strong_coupling"], row["weak_coupling"]])
+    return table, rows
+
+
+def e7_dh_scaling(
+    step_sizes: list[float] | None = None,
+    shape: tuple[int, int, int, int] = (2, 2, 2, 2),
+    beta: float = 5.5,
+    traj_length: float = 0.8,
+    seed: int = 66,
+) -> tuple[Table, list[dict]]:
+    """|dH| vs eps at fixed trajectory length, leapfrog vs Omelyan."""
+    step_sizes = step_sizes or [0.2, 0.1, 0.05, 0.025]
+    action = WilsonGaugeAction(beta)
+    table = Table(
+        f"E7b / Fig. 4 — |dH| vs step size (traj length {traj_length}, beta={beta})",
+        ["eps", "n_steps", "|dH| leapfrog", "|dH| omelyan", "ratio"],
+    )
+    rows = []
+    for eps in step_sizes:
+        n_steps = max(1, round(traj_length / eps))
+        dh = {}
+        for name, integ in [("leapfrog", leapfrog), ("omelyan", omelyan)]:
+            gauge = GaugeField.hot(Lattice4D(shape), rng=seed)
+            pi = sample_momenta(gauge, rng=seed + 1)
+            h0 = kinetic_energy(pi) + action.action(gauge)
+            integ(gauge, pi, action, eps, n_steps)
+            dh[name] = abs(kinetic_energy(pi) + action.action(gauge) - h0)
+        row = {"eps": eps, "n_steps": n_steps, **dh}
+        rows.append(row)
+        table.add_row(
+            [eps, n_steps, dh["leapfrog"], dh["omelyan"], dh["leapfrog"] / dh["omelyan"]]
+        )
+    return table, rows

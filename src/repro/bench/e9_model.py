@@ -1,0 +1,52 @@
+"""E9 — Table 4: machine-model validation.
+
+Calibrate the model's compute side on one lattice volume of this host's
+numpy Dslash, then compare model predictions against fresh measurements at
+other volumes.  Also prints the BG/Q projection for the same blocks so the
+substitution is explicit: measured Python times validate the *model*, the
+spec projects it to the paper's hardware.
+"""
+
+from __future__ import annotations
+
+from repro.lattice import Lattice4D
+from repro.machine.calibrate import calibrate_python_node, measured_dslash_rate
+from repro.machine.model import DslashModel
+from repro.machine.spec import BLUEGENE_Q
+from repro.util import Table
+
+__all__ = ["e9_model_validation"]
+
+DEFAULT_VOLUMES = [(4, 4, 4, 4), (8, 4, 4, 4), (8, 8, 4, 4), (8, 8, 8, 8)]
+
+
+def e9_model_validation(
+    calibration_shape: tuple[int, int, int, int] = (8, 8, 4, 4),
+    volumes=None,
+    repeats: int = 3,
+) -> tuple[Table, list[dict]]:
+    volumes = volumes or DEFAULT_VOLUMES
+    spec = calibrate_python_node(Lattice4D(calibration_shape), repeats=repeats)
+    table = Table(
+        f"E9 / Table 4 — model vs measurement (calibrated on {'x'.join(map(str, calibration_shape))})",
+        ["volume", "measured t [s]", "model t [s]", "ratio", "BG/Q model t [s]"],
+    )
+    rows = []
+    for shape in volumes:
+        lat = Lattice4D(shape)
+        sites_s, _ = measured_dslash_rate(lat, repeats=repeats)
+        measured = lat.volume / sites_s
+        model = DslashModel(spec, shape, decomposed_axes=()).time()
+        bgq = DslashModel(BLUEGENE_Q, shape, decomposed_axes=()).time()
+        row = {
+            "volume": shape,
+            "measured_seconds": measured,
+            "model_seconds": model,
+            "ratio": model / measured,
+            "bgq_model_seconds": bgq,
+        }
+        rows.append(row)
+        table.add_row([
+            "x".join(map(str, shape)), measured, model, row["ratio"], bgq,
+        ])
+    return table, rows

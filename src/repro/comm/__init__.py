@@ -1,0 +1,41 @@
+"""Domain decomposition and the virtual MPI layer.
+
+The paper's runs decompose the global lattice over a 4-D Cartesian grid of
+MPI ranks mapped onto the BlueGene/Q torus.  We reproduce the *data path*
+exactly — scatter to rank-local arrays, pack faces, exchange halos, stencil
+over the interior — executing all ranks sequentially inside one process
+(``VirtualComm``).  Every message is recorded in a :class:`CommTrace`; the
+machine model converts traces into time at scale.
+
+This substitution is validated by tests that require the decomposed Dslash
+to agree bit-for-bit with the single-domain kernel for every rank grid.
+"""
+
+from repro.comm.rankgrid import RankGrid
+from repro.comm.trace import CommTrace, HaloEvent, CollectiveEvent, ComputeEvent
+from repro.comm.vcomm import VirtualComm
+from repro.comm.decomposition import Decomposition
+from repro.comm.halo import (
+    HaloField,
+    halo_exchange,
+    add_halo,
+    strip_halo,
+    face_bytes,
+)
+from repro.comm.topology import TorusTopology
+
+__all__ = [
+    "RankGrid",
+    "CommTrace",
+    "HaloEvent",
+    "CollectiveEvent",
+    "ComputeEvent",
+    "VirtualComm",
+    "Decomposition",
+    "HaloField",
+    "halo_exchange",
+    "add_halo",
+    "strip_halo",
+    "face_bytes",
+    "TorusTopology",
+]

@@ -1,0 +1,79 @@
+"""Scatter/gather between a global lattice array and rank-local blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.comm.rankgrid import RankGrid
+from repro.lattice import Lattice4D
+
+__all__ = ["Decomposition"]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """An even block decomposition of ``lattice`` over ``grid``.
+
+    Every rank owns a contiguous ``(lt, lz, ly, lx)`` block.  Arrays may have
+    non-site axes before the 4 site axes (gauge fields lead with the
+    direction axis); pass their count as ``site_axis_start``.
+    """
+
+    lattice: Lattice4D
+    grid: RankGrid
+
+    def __post_init__(self) -> None:
+        if not self.lattice.divisible_by(self.grid.dims):
+            raise ValueError(
+                f"lattice {self.lattice.shape} not divisible by rank grid {self.grid.dims}"
+            )
+
+    @cached_property
+    def local_shape(self) -> tuple[int, ...]:
+        return self.lattice.local_shape(self.grid.dims)
+
+    @cached_property
+    def local_volume(self) -> int:
+        v = 1
+        for n in self.local_shape:
+            v *= n
+        return v
+
+    def block_slices(self, rank: int, site_axis_start: int = 0) -> tuple[slice, ...]:
+        """Index slices selecting ``rank``'s block of a global array."""
+        coord = self.grid.coord(rank)
+        slices = [slice(None)] * site_axis_start
+        for mu in range(4):
+            lo = coord[mu] * self.local_shape[mu]
+            slices.append(slice(lo, lo + self.local_shape[mu]))
+        return tuple(slices)
+
+    def scatter(self, global_arr: np.ndarray, site_axis_start: int = 0) -> list[np.ndarray]:
+        """Split a global array into per-rank contiguous local copies."""
+        self._check_shape(global_arr, site_axis_start)
+        return [
+            np.ascontiguousarray(global_arr[self.block_slices(r, site_axis_start)])
+            for r in self.grid.all_ranks()
+        ]
+
+    def gather(self, locals_: list[np.ndarray], site_axis_start: int = 0) -> np.ndarray:
+        """Reassemble the global array from rank-local blocks."""
+        if len(locals_) != self.grid.nranks:
+            raise ValueError(f"expected {self.grid.nranks} blocks, got {len(locals_)}")
+        lead = locals_[0].shape[:site_axis_start]
+        trail = locals_[0].shape[site_axis_start + 4 :]
+        out = np.empty(lead + self.lattice.shape + trail, dtype=locals_[0].dtype)
+        for r in self.grid.all_ranks():
+            out[self.block_slices(r, site_axis_start)] = locals_[r]
+        return out
+
+    def _check_shape(self, arr: np.ndarray, site_axis_start: int) -> None:
+        site_shape = arr.shape[site_axis_start : site_axis_start + 4]
+        if site_shape != self.lattice.shape:
+            raise ValueError(
+                f"array site shape {site_shape} != lattice {self.lattice.shape} "
+                f"(site_axis_start={site_axis_start})"
+            )

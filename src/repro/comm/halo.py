@@ -1,0 +1,126 @@
+"""Halo (ghost-shell) fields and the face-exchange primitive.
+
+This is the communication pattern of the paper's Dslash: each rank extends
+its local block by a ghost shell of width ``w`` in every lattice direction,
+fills the shells from the face data of its six-to-eight Cartesian neighbours
+(a *self*-wrap along undecomposed axes), and then applies the stencil to the
+interior with no further neighbour logic.
+
+Only face slabs are exchanged — a nearest-neighbour stencil never reads the
+ghost corners, so they are left stale exactly as production halo codes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.rankgrid import RankGrid
+from repro.comm.trace import CommTrace
+
+__all__ = ["HaloField", "add_halo", "strip_halo", "halo_exchange", "face_bytes"]
+
+
+@dataclass
+class HaloField:
+    """A rank-local array extended by ghost shells on the 4 site axes.
+
+    ``data`` has extents ``local + 2*width`` on each site axis; site axes
+    start at ``site_axis_start`` (0 for fermions, 1 for gauge fields).
+    """
+
+    data: np.ndarray
+    width: int
+    site_axis_start: int = 0
+
+    @property
+    def interior_shape(self) -> tuple[int, ...]:
+        s0 = self.site_axis_start
+        return tuple(n - 2 * self.width for n in self.data.shape[s0 : s0 + 4])
+
+    def interior(self) -> np.ndarray:
+        """View of the owned (non-ghost) region."""
+        s0 = self.site_axis_start
+        idx = [slice(None)] * self.data.ndim
+        for mu in range(4):
+            idx[s0 + mu] = slice(self.width, -self.width)
+        return self.data[tuple(idx)]
+
+
+def add_halo(local: np.ndarray, width: int = 1, site_axis_start: int = 0) -> HaloField:
+    """Embed a local block into a ghost-extended array (ghosts zeroed)."""
+    if width < 1:
+        raise ValueError("halo width must be >= 1")
+    pad = [(0, 0)] * site_axis_start + [(width, width)] * 4
+    pad += [(0, 0)] * (local.ndim - site_axis_start - 4)
+    data = np.pad(local, pad, mode="constant")
+    return HaloField(data, width, site_axis_start)
+
+
+def strip_halo(halo: HaloField) -> np.ndarray:
+    """Contiguous copy of the interior."""
+    return np.ascontiguousarray(halo.interior())
+
+
+def face_bytes(halo: HaloField, mu: int) -> int:
+    """Payload of one face message along ``mu`` (interior extents on the
+    other axes; ghost corners are not sent)."""
+    shape = list(halo.interior_shape)
+    face_sites = 1
+    for nu in range(4):
+        if nu != mu:
+            face_sites *= shape[nu]
+    trailing = int(np.prod(halo.data.shape[halo.site_axis_start + 4 :], dtype=np.int64)) or 1
+    lead = int(np.prod(halo.data.shape[: halo.site_axis_start], dtype=np.int64)) or 1
+    return face_sites * halo.width * trailing * lead * halo.data.itemsize
+
+
+def _axis_slice(halo: HaloField, mu: int, sl: slice) -> tuple[slice, ...]:
+    idx = [slice(None)] * halo.data.ndim
+    idx[halo.site_axis_start + mu] = sl
+    return tuple(idx)
+
+
+def halo_exchange(
+    halos: list[HaloField],
+    grid: RankGrid,
+    trace: CommTrace | None = None,
+    phases: tuple[complex, complex, complex, complex] | None = None,
+) -> None:
+    """Fill all ghost shells from neighbour face data, in place.
+
+    The high-side ghost of rank ``r`` along ``mu`` receives the low-side
+    interior boundary of its ``+mu`` neighbour (and vice versa).  Where the
+    hop crosses the *global* lattice boundary the fermion boundary phase is
+    applied: ``psi(x + N e_mu) = phase_mu psi(x)`` so the high ghost gets
+    ``phase_mu * data`` and the low ghost gets ``conj(phase_mu) * data``.
+
+    Exchanges between distinct ranks are recorded in ``trace``; wraps along
+    undecomposed axes are local copies (not messages), as on a real machine.
+    """
+    if len(halos) != grid.nranks:
+        raise ValueError(f"expected {grid.nranks} halo fields, got {len(halos)}")
+    w = halos[0].width
+    for mu in range(4):
+        for r in grid.all_ranks():
+            dst = halos[r]
+            nbytes = face_bytes(dst, mu)
+
+            # High ghost <- +mu neighbour's low interior slab.
+            nb_hi = grid.neighbor(r, mu, +1)
+            src = halos[nb_hi].data[_axis_slice(halos[nb_hi], mu, slice(w, 2 * w))]
+            if phases is not None and grid.crosses_boundary(r, mu, +1):
+                src = src * phases[mu]
+            dst.data[_axis_slice(dst, mu, slice(-w, None))] = src
+            if nb_hi != r and trace is not None:
+                trace.record_halo(r, mu, +1, nbytes)
+
+            # Low ghost <- -mu neighbour's high interior slab.
+            nb_lo = grid.neighbor(r, mu, -1)
+            src = halos[nb_lo].data[_axis_slice(halos[nb_lo], mu, slice(-2 * w, -w))]
+            if phases is not None and grid.crosses_boundary(r, mu, -1):
+                src = src * np.conj(phases[mu])
+            dst.data[_axis_slice(dst, mu, slice(0, w))] = src
+            if nb_lo != r and trace is not None:
+                trace.record_halo(r, mu, -1, nbytes)

@@ -1,0 +1,68 @@
+"""Cartesian grid of virtual MPI ranks over the 4 lattice directions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+import math
+
+import numpy as np
+
+__all__ = ["RankGrid"]
+
+
+@dataclass(frozen=True)
+class RankGrid:
+    """A periodic ``PT x PZ x PY x PX`` process grid.
+
+    Rank numbering is lexicographic in ``(T, Z, Y, X)`` order, matching the
+    lattice axis convention.
+    """
+
+    dims: tuple[int, int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != 4:
+            raise ValueError(f"RankGrid needs 4 dims, got {self.dims}")
+        if any(int(d) < 1 for d in self.dims):
+            raise ValueError(f"rank-grid dims must be positive, got {self.dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    @cached_property
+    def nranks(self) -> int:
+        return int(math.prod(self.dims))
+
+    def coord(self, rank: int) -> tuple[int, ...]:
+        """Grid coordinate of ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return tuple(int(c) for c in np.unravel_index(rank, self.dims))
+
+    def rank(self, coord: tuple[int, int, int, int]) -> int:
+        """Rank of a (periodically wrapped) grid coordinate."""
+        wrapped = tuple(c % d for c, d in zip(coord, self.dims))
+        return int(np.ravel_multi_index(wrapped, self.dims))
+
+    def neighbor(self, rank: int, mu: int, direction: int) -> int:
+        """Rank of the neighbour one step along ``mu`` (direction = +-1)."""
+        c = list(self.coord(rank))
+        c[mu] += direction
+        return self.rank(tuple(c))
+
+    def crosses_boundary(self, rank: int, mu: int, direction: int) -> bool:
+        """Whether stepping from ``rank`` along ``mu`` wraps the global
+        lattice boundary (where fermion boundary phases apply)."""
+        c = self.coord(rank)[mu]
+        if direction > 0:
+            return c == self.dims[mu] - 1
+        return c == 0
+
+    def decomposed_axes(self) -> tuple[int, ...]:
+        """Axes actually split over more than one rank."""
+        return tuple(mu for mu in range(4) if self.dims[mu] > 1)
+
+    def all_ranks(self) -> range:
+        return range(self.nranks)
+
+    def __str__(self) -> str:
+        return "x".join(str(d) for d in self.dims)

@@ -1,0 +1,94 @@
+"""Mapping the rank grid onto a physical torus network.
+
+BlueGene/Q exposes a 5-D torus; the production runs of the paper's era
+folded the 4-D Cartesian process grid onto it so that lattice
+nearest-neighbour exchanges travel at most a bounded number of torus hops.
+:class:`TorusTopology` reproduces that accounting: it embeds the 4-D rank
+grid into an n-D torus and reports the hop distance of every halo message,
+which the machine model multiplies into per-hop latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+import math
+
+import numpy as np
+
+from repro.comm.rankgrid import RankGrid
+
+__all__ = ["TorusTopology"]
+
+
+@dataclass(frozen=True)
+class TorusTopology:
+    """An n-dimensional torus of compute nodes.
+
+    ``dims`` are the torus extents (e.g. a BG/Q midplane is (4, 4, 4, 4, 2)).
+    """
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(int(d) < 1 for d in self.dims):
+            raise ValueError(f"torus dims must be positive, got {self.dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    @cached_property
+    def nnodes(self) -> int:
+        return int(math.prod(self.dims))
+
+    def node_coord(self, node: int) -> tuple[int, ...]:
+        return tuple(int(c) for c in np.unravel_index(node, self.dims))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Manhattan distance on the torus (shortest wrap-aware path)."""
+        ca, cb = self.node_coord(a), self.node_coord(b)
+        hops = 0
+        for x, y, n in zip(ca, cb, self.dims):
+            d = abs(x - y)
+            hops += min(d, n - d)
+        return hops
+
+    # -- embedding of the 4-D rank grid ---------------------------------------
+
+    def embed_rank_grid(self, grid: RankGrid) -> dict[int, int]:
+        """Map each rank to a torus node, folding lexicographically.
+
+        When the rank grid fits the torus exactly (same total size and each
+        rank-grid axis factorisable over torus axes) the lexicographic fold
+        keeps lattice neighbours within a small constant hop count.  Ranks
+        are assigned round-robin when there are more ranks than nodes
+        (multiple ranks per node, as with BG/Q's 16 cores/node).
+        """
+        if grid.nranks < 1:
+            raise ValueError("empty rank grid")
+        return {r: r % self.nnodes for r in grid.all_ranks()}
+
+    def max_neighbor_hops(self, grid: RankGrid) -> int:
+        """Worst-case torus hops of any lattice nearest-neighbour message
+        under :meth:`embed_rank_grid` — the latency multiplier used by the
+        machine model."""
+        mapping = self.embed_rank_grid(grid)
+        worst = 0
+        for r in grid.all_ranks():
+            for mu in grid.decomposed_axes():
+                for direction in (+1, -1):
+                    nb = grid.neighbor(r, mu, direction)
+                    if nb == r:
+                        continue
+                    a, b = mapping[r], mapping[nb]
+                    if a == b:
+                        continue  # same node: no network hop
+                    worst = max(worst, self.hop_distance(a, b))
+        return worst
+
+    def bisection_links(self) -> int:
+        """Links crossing a bisection of the torus — bounds all-to-all
+        bandwidth (reported in the machine-description table)."""
+        # Cut across the largest dimension: 2 * (volume / largest) wrap+direct.
+        largest = max(self.dims)
+        if largest == 1:
+            return 0
+        return 2 * (self.nnodes // largest)

@@ -1,0 +1,104 @@
+"""Communication/compute event tracing.
+
+The virtual MPI layer cannot measure network time (there is no network), so
+it records *what would be communicated*: every halo message with its byte
+count and torus direction, every collective, and the nominal flops of every
+kernel executed between them.  The machine model replays a trace against a
+:class:`~repro.machine.MachineSpec` to predict time at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HaloEvent", "CollectiveEvent", "ComputeEvent", "CommTrace"]
+
+
+@dataclass(frozen=True)
+class HaloEvent:
+    """One face exchange: ``rank`` sends ``nbytes`` to its ``direction``
+    neighbour along lattice axis ``mu``."""
+
+    rank: int
+    mu: int
+    direction: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """A reduction over all ranks (e.g. the two inner products of a CG
+    iteration).  ``nbytes`` is the payload per rank."""
+
+    kind: str
+    nbytes: int
+    nranks: int
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """Nominal flops of a kernel, per rank (SPMD: all ranks do the same)."""
+
+    kernel: str
+    flops_per_rank: int
+    nranks: int
+
+
+@dataclass
+class CommTrace:
+    """An append-only event log with aggregate queries."""
+
+    events: list = field(default_factory=list)
+    enabled: bool = True
+
+    def record_halo(self, rank: int, mu: int, direction: int, nbytes: int) -> None:
+        if self.enabled:
+            self.events.append(HaloEvent(rank, mu, direction, int(nbytes)))
+
+    def record_collective(self, kind: str, nbytes: int, nranks: int) -> None:
+        if self.enabled:
+            self.events.append(CollectiveEvent(kind, int(nbytes), int(nranks)))
+
+    def record_compute(self, kernel: str, flops_per_rank: int, nranks: int) -> None:
+        if self.enabled:
+            self.events.append(ComputeEvent(kernel, int(flops_per_rank), int(nranks)))
+
+    # -- aggregates ----------------------------------------------------------
+
+    def halo_events(self) -> list[HaloEvent]:
+        return [e for e in self.events if isinstance(e, HaloEvent)]
+
+    def collective_events(self) -> list[CollectiveEvent]:
+        return [e for e in self.events if isinstance(e, CollectiveEvent)]
+
+    def compute_events(self) -> list[ComputeEvent]:
+        return [e for e in self.events if isinstance(e, ComputeEvent)]
+
+    def total_halo_bytes(self) -> int:
+        """Sum of all halo payloads over all ranks."""
+        return sum(e.nbytes for e in self.halo_events())
+
+    def halo_bytes_per_rank(self, rank: int) -> int:
+        return sum(e.nbytes for e in self.halo_events() if e.rank == rank)
+
+    def max_halo_bytes_per_rank(self) -> int:
+        """The critical-path rank payload (what the machine model times)."""
+        per_rank: dict[int, int] = {}
+        for e in self.halo_events():
+            per_rank[e.rank] = per_rank.get(e.rank, 0) + e.nbytes
+        return max(per_rank.values(), default=0)
+
+    def message_count(self) -> int:
+        return len(self.halo_events())
+
+    def messages_per_rank(self, rank: int) -> int:
+        return sum(1 for e in self.halo_events() if e.rank == rank)
+
+    def total_flops(self) -> int:
+        return sum(e.flops_per_rank * e.nranks for e in self.compute_events())
+
+    def flops_per_rank(self) -> int:
+        return sum(e.flops_per_rank for e in self.compute_events())
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,62 @@
+"""The virtual communicator: sequential SPMD with full message accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.decomposition import Decomposition
+from repro.comm.halo import HaloField, halo_exchange
+from repro.comm.rankgrid import RankGrid
+from repro.comm.trace import CommTrace
+from repro.lattice import Lattice4D
+
+__all__ = ["VirtualComm"]
+
+
+@dataclass
+class VirtualComm:
+    """A drop-in stand-in for an MPI communicator over a 4-D rank grid.
+
+    All ranks live in one process and execute sequentially, but the data
+    motion (halo exchanges, reductions) is performed for real and logged to
+    :attr:`trace`.  The machine model turns the log into time at scale.
+    """
+
+    grid: RankGrid
+    trace: CommTrace = field(default_factory=CommTrace)
+
+    @property
+    def nranks(self) -> int:
+        return self.grid.nranks
+
+    def decompose(self, lattice: Lattice4D) -> Decomposition:
+        return Decomposition(lattice, self.grid)
+
+    def exchange(
+        self,
+        halos: list[HaloField],
+        phases: tuple[complex, complex, complex, complex] | None = None,
+    ) -> None:
+        """Fill ghost shells from neighbours (see :func:`halo_exchange`)."""
+        halo_exchange(halos, self.grid, trace=self.trace, phases=phases)
+
+    def allreduce_sum(self, partials: list) -> complex | float:
+        """Global sum of per-rank partial reductions.
+
+        Sequential execution makes the arithmetic exact and reproducible
+        regardless of the rank count; the collective is logged so the model
+        can charge its latency (dominant at strong-scaling limits).
+        """
+        if len(partials) != self.nranks:
+            raise ValueError(f"expected {self.nranks} partials, got {len(partials)}")
+        total = partials[0]
+        for p in partials[1:]:
+            total = total + p
+        payload = np.asarray(partials[0]).nbytes
+        self.trace.record_collective("allreduce_sum", payload, self.nranks)
+        return total
+
+    def record_compute(self, kernel: str, flops_per_rank: int) -> None:
+        self.trace.record_compute(kernel, flops_per_rank, self.nranks)

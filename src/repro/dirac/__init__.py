@@ -1,0 +1,62 @@
+"""Lattice Dirac operators.
+
+The performance core of the paper: the Wilson hopping term ("Dslash"), the
+Wilson and Wilson-clover operators built on it, the even-odd preconditioned
+Schur operator, and the 5-D Shamir domain-wall operator.  A decomposed
+variant evaluates the identical stencil through the halo-exchange substrate
+for the scaling study.
+"""
+
+from repro.dirac.operator import LinearOperator, MatrixOperator, NormalOperator
+from repro.dirac.hopping import (
+    hopping_term,
+    hopping_term_naive,
+    DEFAULT_FERMION_PHASES,
+    PERIODIC_PHASES,
+)
+from repro.dirac.wilson import WilsonDirac
+from repro.dirac.clover import CloverDirac, clover_field_strength
+from repro.dirac.eo import EvenOddWilson, SchurOperator
+from repro.dirac.dwf import DomainWallDirac
+from repro.dirac.twisted import TwistedMassDirac
+from repro.dirac.decomposed import DecomposedWilsonDirac
+from repro.dirac.staggered import (
+    StaggeredDirac,
+    StaggeredEvenOdd,
+    solve_staggered_eo,
+    staggered_phases,
+    random_staggered,
+    staggered_point_source,
+    staggered_point_propagator,
+    staggered_pion_correlator,
+    suppress_parity_partner,
+    STAGGERED_DSLASH_FLOPS_PER_SITE,
+)
+
+__all__ = [
+    "LinearOperator",
+    "MatrixOperator",
+    "NormalOperator",
+    "hopping_term",
+    "hopping_term_naive",
+    "DEFAULT_FERMION_PHASES",
+    "PERIODIC_PHASES",
+    "WilsonDirac",
+    "CloverDirac",
+    "clover_field_strength",
+    "EvenOddWilson",
+    "SchurOperator",
+    "DomainWallDirac",
+    "TwistedMassDirac",
+    "DecomposedWilsonDirac",
+    "StaggeredDirac",
+    "StaggeredEvenOdd",
+    "solve_staggered_eo",
+    "staggered_phases",
+    "random_staggered",
+    "staggered_point_source",
+    "staggered_point_propagator",
+    "staggered_pion_correlator",
+    "suppress_parity_partner",
+    "STAGGERED_DSLASH_FLOPS_PER_SITE",
+]

@@ -1,0 +1,114 @@
+"""Even-odd (red-black) preconditioning of the Wilson operator.
+
+The hopping term only connects opposite parities, so in the parity-ordered
+basis
+
+``M = [[ d I     , -1/2 H_eo ],
+       [ -1/2 H_oe,  d I     ]]``        with  d = m + 4.
+
+Eliminating the odd sites gives the Schur complement on the even sublattice
+
+``M_hat = d - H_eo H_oe / (4 d)``
+
+whose condition number is roughly the square root of M's — solving
+``M_hat x_e = b_hat`` then reconstructing ``x_o`` typically takes 2-3x
+fewer Dslash applications than the unpreconditioned solve.  This is the
+standard trick of every production lattice solver and ablation E10
+quantifies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES, hopping_term
+from repro.dirac.operator import LinearOperator
+from repro.fields import GaugeField
+from repro.gammas import apply_gamma5
+from repro.lattice import checkerboard_masks, mask_field
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+__all__ = ["EvenOddWilson", "SchurOperator"]
+
+
+class EvenOddWilson:
+    """Even-odd decomposition of a Wilson operator.
+
+    Fields remain full-lattice arrays for layout simplicity; parity
+    restriction is by masking.  Nominal flop accounting uses the half-volume
+    counts of a packed implementation, which is what the paper's numbers
+    assume.
+    """
+
+    def __init__(
+        self,
+        gauge: GaugeField,
+        mass: float,
+        phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
+    ) -> None:
+        self.gauge = gauge
+        self.mass = float(mass)
+        self.phases = tuple(phases)
+        self.even, self.odd = checkerboard_masks(gauge.lattice)
+
+    @property
+    def lattice(self):
+        return self.gauge.lattice
+
+    @property
+    def diag(self) -> float:
+        return self.mass + 4.0
+
+    def hop_parity(self, psi: np.ndarray, to_parity_mask: np.ndarray) -> np.ndarray:
+        """Hopping term restricted to target sites ``to_parity_mask``.
+
+        The stencil maps each parity onto the other, so masking the output
+        suffices when the input lives on the opposite parity.
+        """
+        return mask_field(hopping_term(self.gauge.u, psi, self.phases), to_parity_mask)
+
+    # -- Schur pieces ----------------------------------------------------------
+
+    def schur_operator(self) -> "SchurOperator":
+        return SchurOperator(self)
+
+    def prepare_rhs(self, b: np.ndarray) -> np.ndarray:
+        """``b_hat = b_e - M_eo M_oo^{-1} b_o = b_e + H_eo b_o / (2 d)``."""
+        b_o = mask_field(b, self.odd)
+        return mask_field(b, self.even) + self.hop_parity(b_o, self.even) / (2.0 * self.diag)
+
+    def reconstruct(self, x_e: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Back-substitute the odd solution:
+        ``x_o = (b_o + H_oe x_e / 2) / d``; returns the full-lattice x."""
+        b_o = mask_field(b, self.odd)
+        x_o = (b_o + 0.5 * self.hop_parity(x_e, self.odd)) / self.diag
+        return mask_field(x_e, self.even) + x_o
+
+    def full_operator_apply(self, psi: np.ndarray) -> np.ndarray:
+        """The unpreconditioned M (for residual verification in tests)."""
+        return self.diag * psi - 0.5 * hopping_term(self.gauge.u, psi, self.phases)
+
+
+class SchurOperator(LinearOperator):
+    """``M_hat = d - H_eo H_oe / (4 d)`` acting on even-site fields.
+
+    gamma5-Hermitian on the even subspace, so its normal operator feeds CG.
+    """
+
+    def __init__(self, eo: EvenOddWilson) -> None:
+        super().__init__()
+        self.eo = eo
+        # Two half-volume Dslash applications = one full-volume count.
+        self.flops_per_apply = WILSON_DSLASH_FLOPS_PER_SITE * eo.lattice.volume
+
+    def apply(self, x_e: np.ndarray) -> np.ndarray:
+        eo = self.eo
+        tmp_o = eo.hop_parity(x_e, eo.odd)
+        return eo.diag * mask_field(x_e, eo.even) - eo.hop_parity(tmp_o, eo.even) / (
+            4.0 * eo.diag
+        )
+
+    def apply_dagger(self, x_e: np.ndarray) -> np.ndarray:
+        """gamma5-hermiticity survives Schur complementation (gamma5 is
+        site-diagonal, hence parity-preserving)."""
+        return apply_gamma5(self.apply(apply_gamma5(x_e)))

@@ -1,0 +1,86 @@
+"""The linear-operator protocol shared by operators and solvers.
+
+Solvers only need ``op(x) -> y`` plus flop/application accounting; operators
+implement :meth:`apply` and inherit the bookkeeping.  ``NormalOperator``
+wraps ``M`` as the Hermitian positive-definite ``M^dag M`` that CG requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearOperator", "MatrixOperator", "NormalOperator"]
+
+
+class LinearOperator:
+    """Base class: a linear map on fermion-like ndarrays with accounting.
+
+    Subclasses implement :meth:`apply` (and :meth:`apply_dagger` when the
+    operator is not Hermitian) and set :attr:`flops_per_apply`.
+    """
+
+    #: Nominal real flops of one :meth:`apply` (community convention counts).
+    flops_per_apply: int = 0
+
+    def __init__(self) -> None:
+        self.n_applies = 0
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(f"{type(self).__name__} does not implement the adjoint")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.n_applies += 1
+        return self.apply(x)
+
+    @property
+    def flops_spent(self) -> int:
+        return self.n_applies * self.flops_per_apply
+
+    def reset_counters(self) -> None:
+        self.n_applies = 0
+
+    def normal_op(self) -> "NormalOperator":
+        """The Hermitian positive-definite ``M^dag M``."""
+        return NormalOperator(self)
+
+
+class MatrixOperator(LinearOperator):
+    """A dense matrix as a LinearOperator — the oracle for solver tests."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        super().__init__()
+        m = np.asarray(matrix)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"need a square matrix, got shape {m.shape}")
+        self.matrix = m
+        # 8 real flops per complex multiply-add.
+        self.flops_per_apply = 8 * m.shape[0] * m.shape[1]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return (self.matrix @ x.reshape(-1)).reshape(x.shape)
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        return (self.matrix.conj().T @ x.reshape(-1)).reshape(x.shape)
+
+
+class NormalOperator(LinearOperator):
+    """``A = M^dag M`` for an inner operator ``M``.
+
+    Hermitian and positive definite whenever ``M`` is non-singular, so CG
+    converges on it; a solve of ``M x = b`` becomes
+    ``M^dag M x = M^dag b``.
+    """
+
+    def __init__(self, inner: LinearOperator) -> None:
+        super().__init__()
+        self.inner = inner
+        self.flops_per_apply = 2 * inner.flops_per_apply
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self.inner.apply_dagger(self.inner.apply(x))
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x)  # Hermitian by construction

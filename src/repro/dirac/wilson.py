@@ -1,0 +1,94 @@
+"""The Wilson-Dirac operator.
+
+``M psi(x) = (m + 4) psi(x) - (1/2) hop(psi)(x)``
+
+with the Wilson parameter fixed at ``r = 1``.  Equivalently, in hopping
+normalisation ``M = (m + 4)(1 - kappa_factor D)`` with
+``kappa = 1 / (2 m + 8)``.
+
+The operator is gamma5-Hermitian: ``M^dag = gamma5 M gamma5``, which is how
+the adjoint is implemented (no second stencil needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES, hopping_term, hopping_term_naive
+from repro.dirac.operator import LinearOperator
+from repro.fields import GaugeField
+from repro.gammas import apply_gamma5
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+__all__ = ["WilsonDirac"]
+
+
+class WilsonDirac(LinearOperator):
+    """Wilson fermion matrix on a gauge background.
+
+    Parameters
+    ----------
+    gauge:
+        The gauge configuration.
+    mass:
+        Bare quark mass ``m`` (lattice units).  The operator is singular at
+        the critical mass (``m = 0`` on a free field); solver difficulty
+        grows as ``m -> m_crit``, which the solver benchmarks exploit.
+    phases:
+        Fermion boundary phases per direction; defaults to antiperiodic
+        time.
+    use_spin_projection:
+        Select the production half-spinor kernel (default) or the naive
+        full-spinor reference (the E10 ablation).
+    """
+
+    def __init__(
+        self,
+        gauge: GaugeField,
+        mass: float,
+        phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
+        use_spin_projection: bool = True,
+    ) -> None:
+        super().__init__()
+        self.gauge = gauge
+        self.mass = float(mass)
+        self.phases = tuple(phases)
+        self.use_spin_projection = bool(use_spin_projection)
+        self.flops_per_apply = (
+            WILSON_DSLASH_FLOPS_PER_SITE + 8 * 12  # hop + axpy with the mass term
+        ) * gauge.lattice.volume
+
+    @property
+    def lattice(self):
+        return self.gauge.lattice
+
+    @property
+    def kappa(self) -> float:
+        """Hopping parameter ``kappa = 1 / (2 m + 8)``."""
+        return 1.0 / (2.0 * self.mass + 8.0)
+
+    @property
+    def diag(self) -> float:
+        """The site-diagonal coefficient ``m + 4``."""
+        return self.mass + 4.0
+
+    def _hop(self, psi: np.ndarray) -> np.ndarray:
+        kernel = hopping_term if self.use_spin_projection else hopping_term_naive
+        return kernel(self.gauge.u, psi, self.phases)
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        return self.diag * psi - 0.5 * self._hop(psi)
+
+    def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
+        """``M^dag = gamma5 M gamma5`` (gamma5-hermiticity)."""
+        return apply_gamma5(self.apply(apply_gamma5(psi)))
+
+    def astype(self, dtype) -> "WilsonDirac":
+        """Precision-cast clone (fp32 operator for the mixed-precision inner
+        solve)."""
+        return WilsonDirac(
+            self.gauge.astype(dtype),
+            self.mass,
+            self.phases,
+            self.use_spin_projection,
+        )

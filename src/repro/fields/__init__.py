@@ -1,0 +1,32 @@
+"""Lattice fields.
+
+Gauge configurations are wrapped in :class:`GaugeField` (they carry their
+lattice, boundary conditions and precision).  Fermion fields are plain numpy
+arrays of shape ``(T, Z, Y, X, 4, 3)`` — solvers treat them as vectors via
+the helpers in :mod:`repro.fields.linalg`.
+"""
+
+from repro.fields.gauge import GaugeField
+from repro.fields.fermion import (
+    zero_fermion,
+    random_fermion,
+    point_source,
+    fermion_shape,
+    FERMION_SITE_DOF,
+)
+from repro.fields.linalg import inner, norm2, norm, axpy, xpay, vector_reals
+
+__all__ = [
+    "GaugeField",
+    "zero_fermion",
+    "random_fermion",
+    "point_source",
+    "fermion_shape",
+    "FERMION_SITE_DOF",
+    "inner",
+    "norm2",
+    "norm",
+    "axpy",
+    "xpay",
+    "vector_reals",
+]

@@ -1,0 +1,70 @@
+"""Fermion (quark) field constructors.
+
+A 4-D fermion field is ``psi[t, z, y, x, s, c]`` with 4 spins x 3 colours =
+12 complex (24 real) degrees of freedom per site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice import Lattice4D
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "FERMION_SITE_DOF",
+    "fermion_shape",
+    "zero_fermion",
+    "random_fermion",
+    "point_source",
+]
+
+#: Complex degrees of freedom per site (4 spin x 3 colour).
+FERMION_SITE_DOF = 12
+
+
+def fermion_shape(lattice: Lattice4D) -> tuple[int, ...]:
+    """Array shape of a fermion field on ``lattice``."""
+    return lattice.shape + (4, 3)
+
+
+def zero_fermion(lattice: Lattice4D, dtype=np.complex128) -> np.ndarray:
+    """The zero fermion field."""
+    return np.zeros(fermion_shape(lattice), dtype=dtype)
+
+
+def random_fermion(
+    lattice: Lattice4D,
+    rng: np.random.Generator | int | None = None,
+    dtype=np.complex128,
+) -> np.ndarray:
+    """Complex Gaussian fermion field (unit variance per real component).
+
+    This is the distribution pseudofermion heatbath draws come from and the
+    standard random right-hand side for solver benchmarks.
+    """
+    rng = ensure_rng(rng)
+    shape = fermion_shape(lattice)
+    re = rng.normal(size=shape)
+    im = rng.normal(size=shape)
+    return ((re + 1j * im) / np.sqrt(2.0)).astype(dtype)
+
+
+def point_source(
+    lattice: Lattice4D,
+    coord: tuple[int, int, int, int],
+    spin: int,
+    color: int,
+    dtype=np.complex128,
+) -> np.ndarray:
+    """Delta-function source at ``coord`` with the given spin/colour.
+
+    Twelve of these (all spin-colour combinations) make up a point-source
+    propagator, the input to hadron correlators.
+    """
+    if not (0 <= spin < 4 and 0 <= color < 3):
+        raise ValueError(f"invalid spin/colour ({spin}, {color})")
+    src = zero_fermion(lattice, dtype=dtype)
+    idx = tuple(c % n for c, n in zip(coord, lattice.shape))
+    src[idx + (spin, color)] = 1.0
+    return src

@@ -1,0 +1,42 @@
+"""Vector-space operations on fields of arbitrary shape.
+
+Solvers treat any complex ndarray as a vector.  These helpers flatten
+losslessly (no copies: ``ravel`` on contiguous arrays is a view) and use
+BLAS-backed numpy reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["inner", "norm2", "norm", "axpy", "xpay", "vector_reals"]
+
+
+def inner(a: np.ndarray, b: np.ndarray) -> complex:
+    """Hermitian inner product ``<a|b> = sum conj(a) * b``."""
+    return complex(np.vdot(a, b))
+
+
+def norm2(a: np.ndarray) -> float:
+    """Squared 2-norm, always real and non-negative."""
+    return float(np.vdot(a, a).real)
+
+
+def norm(a: np.ndarray) -> float:
+    """2-norm."""
+    return float(np.sqrt(norm2(a)))
+
+
+def axpy(alpha: complex, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y + alpha x`` (new array; hot loops in solvers use in-place ops)."""
+    return y + alpha * x
+
+
+def xpay(x: np.ndarray, alpha: complex, y: np.ndarray) -> np.ndarray:
+    """``x + alpha y`` (new array)."""
+    return x + alpha * y
+
+
+def vector_reals(a: np.ndarray) -> int:
+    """Number of real degrees of freedom of a field (for flop accounting)."""
+    return a.size * (2 if np.iscomplexobj(a) else 1)

@@ -1,0 +1,35 @@
+"""Euclidean Dirac gamma-matrix algebra (DeGrand-Rossi chiral basis).
+
+Direction index convention throughout the library: ``mu = 0, 1, 2, 3``
+corresponds to lattice axes ``(T, Z, Y, X)`` — the same order as the array
+axes of every field, so ``np.roll(psi, 1, axis=mu)`` shifts along the
+direction ``gamma(mu)`` couples to.
+"""
+
+from repro.gammas.gamma import (
+    NS,
+    GAMMAS,
+    GAMMA5,
+    gamma,
+    gamma5,
+    sigma_munu,
+    apply_gamma,
+    apply_gamma5,
+    spin_project,
+    spin_reconstruct,
+    spin_projector_matrix,
+)
+
+__all__ = [
+    "NS",
+    "GAMMAS",
+    "GAMMA5",
+    "gamma",
+    "gamma5",
+    "sigma_munu",
+    "apply_gamma",
+    "apply_gamma5",
+    "spin_project",
+    "spin_reconstruct",
+    "spin_projector_matrix",
+]

@@ -1,0 +1,21 @@
+"""Gauge fixing (Landau and Coulomb) by iterative maximisation.
+
+Gauge-variant quantities — quark/gluon propagators in momentum space,
+smeared-source construction, RI-MOM renormalisation — need a fixed gauge.
+We implement the standard local relaxation with checkerboard updates and
+overrelaxation acceleration.
+"""
+
+from repro.gaugefix.fix import (
+    gauge_fix,
+    gauge_functional,
+    gauge_condition_violation,
+    GaugeFixResult,
+)
+
+__all__ = [
+    "gauge_fix",
+    "gauge_functional",
+    "gauge_condition_violation",
+    "GaugeFixResult",
+]

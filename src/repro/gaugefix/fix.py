@@ -1,0 +1,157 @@
+"""Landau/Coulomb gauge fixing by checkerboard relaxation.
+
+Landau gauge maximises
+
+``F[g] = sum_x sum_mu Re tr[ g(x) U_mu(x) g(x+mu)^dag ]``
+
+over gauge transformations ``g``; stationarity is the lattice Landau
+condition ``sum_mu partial_mu A_mu = 0``.  Coulomb gauge restricts the sum
+to spatial directions.  The local update sets
+
+``g(x) = Proj_SU(3)[ w(x)^dag ],   w(x) = sum_mu [ U_mu(x) + U_mu(x-mu)^dag ]``
+
+which maximises the local contribution exactly; even/odd checkerboarding
+makes all same-parity updates independent, and overrelaxation
+(``g -> Proj[g^omega]``, here implemented as the standard
+``g_or = g^2 / projection`` variant with mixing parameter) accelerates the
+critical slowing down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import su3
+from repro.fields import GaugeField
+from repro.lattice import checkerboard_masks, shift
+
+__all__ = ["gauge_fix", "gauge_functional", "gauge_condition_violation", "GaugeFixResult"]
+
+
+def _directions(mode: str) -> tuple[int, ...]:
+    if mode == "landau":
+        return (0, 1, 2, 3)
+    if mode == "coulomb":
+        return (1, 2, 3)
+    raise ValueError(f"mode must be 'landau' or 'coulomb', got {mode!r}")
+
+
+def gauge_functional(gauge: GaugeField, mode: str = "landau") -> float:
+    """``F = <(1/3) Re tr U_mu(x)>`` over the gauge-fixed directions —
+    normalised to 1 on a completely fixed free field."""
+    dirs = _directions(mode)
+    total = sum(float(np.mean(su3.re_trace(gauge.u[mu]))) for mu in dirs)
+    return total / (su3.NC * len(dirs))
+
+
+def gauge_condition_violation(gauge: GaugeField, mode: str = "landau") -> float:
+    """``theta = (1/V) sum_x tr[ D(x) D(x)^dag ]`` with
+    ``D(x) = sum_mu Ta[ U_mu(x) - U_mu(x-mu) ]`` — the lattice
+    ``|partial A|^2``; tends to zero at the fixed point."""
+    dirs = _directions(mode)
+    u = gauge.u
+    d = np.zeros(gauge.lattice.shape + (3, 3), dtype=u.dtype)
+    for mu in dirs:
+        d += su3.project_algebra(u[mu] - shift(u[mu], mu, -1))
+    return float(np.mean(np.sum(np.abs(d) ** 2, axis=(-2, -1))))
+
+
+@dataclass
+class GaugeFixResult:
+    """Outcome of a gauge-fixing run."""
+
+    converged: bool
+    iterations: int
+    functional: float
+    theta: float
+    functional_history: list[float]
+
+
+def gauge_fix(
+    gauge: GaugeField,
+    mode: str = "landau",
+    tol: float = 1e-10,
+    max_iter: int = 2000,
+    overrelax: float = 1.0,
+) -> tuple[GaugeField, GaugeFixResult]:
+    """Fix ``gauge`` to Landau or Coulomb gauge (returns a transformed copy).
+
+    ``overrelax`` in [1, 2): 1 is plain relaxation (optimal on small smooth
+    lattices); ~1.7 accelerates the long-wavelength modes that dominate on
+    large volumes.  Convergence criterion: ``theta < tol``.
+    """
+    if not 1.0 <= overrelax < 2.0:
+        raise ValueError(f"overrelax must be in [1, 2), got {overrelax}")
+    dirs = _directions(mode)
+    out = gauge.copy()
+    even, odd = checkerboard_masks(out.lattice)
+    history: list[float] = [gauge_functional(out, mode)]
+    theta = gauge_condition_violation(out, mode)
+
+    it = 0
+    while theta > tol and it < max_iter:
+        for mask in (even, odd):
+            # Loop the three SU(2) subgroups: each solves its restricted
+            # maximisation of Re tr(g w) *exactly* (no det-phase issue, the
+            # failure mode of a naive SU(3) polar projection here).
+            for pair in su3.su2_subgroups():
+                u = out.u
+                w = np.zeros(out.lattice.shape + (3, 3), dtype=u.dtype)
+                for mu in dirs:
+                    w += u[mu] + su3.dag(shift(u[mu], mu, -1))
+                a = su3.extract_su2(w[mask], pair)
+                k = np.linalg.norm(a, axis=-1)
+                k = np.where(k == 0.0, 1e-300, k)
+                v_hat = a / k[..., None]
+                g2 = _quaternion_conj_power(v_hat, overrelax)
+                g = su3.embed_su2(g2, pair)
+                _apply_local_gauge(out.u, g, mask, dirs)
+        theta = gauge_condition_violation(out, mode)
+        history.append(gauge_functional(out, mode))
+        it += 1
+
+    return out, GaugeFixResult(
+        converged=bool(theta <= tol),
+        iterations=it,
+        functional=history[-1],
+        theta=theta,
+        functional_history=history,
+    )
+
+
+def _quaternion_conj_power(v_hat: np.ndarray, omega: float) -> np.ndarray:
+    """``(v_hat^dag)^omega`` for unit quaternions.
+
+    The exact local maximiser is ``g2 = v_hat^dag``; overrelaxation rotates
+    by ``omega`` times the optimal angle.
+    """
+    conj = v_hat.copy()
+    conj[..., 1:] *= -1.0
+    if omega == 1.0:
+        return conj
+    w0 = np.clip(conj[..., 0], -1.0, 1.0)
+    vec = conj[..., 1:]
+    vn = np.linalg.norm(vec, axis=-1)
+    theta = np.arctan2(vn, w0)
+    out = np.empty_like(conj)
+    out[..., 0] = np.cos(omega * theta)
+    scale = np.where(vn > 1e-300, np.sin(omega * theta) / np.where(vn > 1e-300, vn, 1.0), 0.0)
+    out[..., 1:] = vec * scale[..., None]
+    return out
+
+
+def _apply_local_gauge(
+    u: np.ndarray, g_masked: np.ndarray, mask: np.ndarray, dirs: tuple[int, ...]
+) -> None:
+    """Apply ``U_mu(x) -> g(x) U_mu(x) g(x+mu)^dag`` with ``g`` equal to the
+    identity off the checkerboard mask.
+
+    The transformation acts on every link touching a masked site, in all
+    four directions, regardless of which directions enter the functional.
+    """
+    g_full = su3.identity(mask.shape, dtype=u.dtype)
+    g_full[mask] = g_masked
+    for mu in range(4):
+        u[mu] = su3.mul(su3.mul(g_full, u[mu]), su3.dag(shift(g_full, mu, 1)))

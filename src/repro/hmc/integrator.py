@@ -1,0 +1,72 @@
+"""Symplectic, reversible molecular-dynamics integrators.
+
+Both update schemes are volume-preserving and time-reversible, so the
+Metropolis step is exact.  Leapfrog has O(eps^2) Hamiltonian error per
+trajectory; the Omelyan 2nd-order minimum-norm scheme has the same order
+with a ~10x smaller coefficient at 1.5x the force evaluations — the E10
+ablation measures exactly that trade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro import su3
+from repro.fields import GaugeField
+from repro.hmc.action import GaugeAction
+
+__all__ = ["leapfrog", "omelyan", "INTEGRATORS"]
+
+#: Omelyan-Mryglod-Folk 2nd-order minimum-norm coefficient.
+OMELYAN_LAMBDA = 0.1931833275037836
+
+
+def _drift(gauge: GaugeField, pi: np.ndarray, eps: float) -> None:
+    """``U <- exp(eps pi) U`` in place, exactly on the group manifold."""
+    gauge.u = su3.mul(su3.expm_su3(eps * pi), gauge.u)
+
+
+def _kick(gauge: GaugeField, pi: np.ndarray, action: GaugeAction, eps: float) -> None:
+    """``pi <- pi - eps F(U)`` in place."""
+    pi -= eps * action.force(gauge)
+
+
+def leapfrog(
+    gauge: GaugeField,
+    pi: np.ndarray,
+    action: GaugeAction,
+    eps: float,
+    n_steps: int,
+) -> None:
+    """Standard kick-drift-kick leapfrog, in place."""
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    _kick(gauge, pi, action, 0.5 * eps)
+    for step in range(n_steps):
+        _drift(gauge, pi, eps)
+        _kick(gauge, pi, action, eps if step < n_steps - 1 else 0.5 * eps)
+
+
+def omelyan(
+    gauge: GaugeField,
+    pi: np.ndarray,
+    action: GaugeAction,
+    eps: float,
+    n_steps: int,
+) -> None:
+    """Omelyan 2MN: kick(lam) drift(1/2) kick(1-2lam) drift(1/2) kick(lam)."""
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    lam = OMELYAN_LAMBDA
+    _kick(gauge, pi, action, lam * eps)
+    for step in range(n_steps):
+        _drift(gauge, pi, 0.5 * eps)
+        _kick(gauge, pi, action, (1.0 - 2.0 * lam) * eps)
+        _drift(gauge, pi, 0.5 * eps)
+        # Successive trajectories fuse the trailing and leading lam-kicks.
+        _kick(gauge, pi, action, (2.0 * lam if step < n_steps - 1 else lam) * eps)
+
+
+INTEGRATORS: dict[str, Callable] = {"leapfrog": leapfrog, "omelyan": omelyan}

@@ -1,0 +1,5 @@
+"""Configuration and ensemble I/O."""
+
+from repro.io.config_io import save_gauge, load_gauge, save_ensemble, load_ensemble
+
+__all__ = ["save_gauge", "load_gauge", "save_ensemble", "load_ensemble"]

@@ -1,0 +1,59 @@
+"""Gauge-configuration storage (npz with metadata).
+
+Configurations carry their lattice geometry and arbitrary provenance
+metadata (coupling, trajectory number, plaquette stamp) so ensembles are
+self-describing, mirroring the ILDG-style headers of production storage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.fields import GaugeField
+from repro.lattice import Lattice4D
+
+__all__ = ["save_gauge", "load_gauge", "save_ensemble", "load_ensemble"]
+
+
+def save_gauge(path: str | Path, gauge: GaugeField, **metadata) -> None:
+    """Write one configuration with a JSON metadata header."""
+    path = Path(path)
+    meta = dict(metadata)
+    meta["shape"] = list(gauge.lattice.shape)
+    np.savez_compressed(path, u=gauge.u, meta=json.dumps(meta))
+
+
+def load_gauge(path: str | Path) -> tuple[GaugeField, dict]:
+    """Read a configuration and its metadata."""
+    with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
+        u = data["u"]
+        meta = json.loads(str(data["meta"]))
+    lattice = Lattice4D(tuple(meta.pop("shape")))
+    expected = (4,) + lattice.shape + (3, 3)
+    if u.shape != expected:
+        raise ValueError(f"stored links {u.shape} do not match header {expected}")
+    return GaugeField(lattice, u), meta
+
+
+def save_ensemble(directory: str | Path, configs: list[GaugeField], **metadata) -> list[Path]:
+    """Write a numbered ensemble ``cfg_0000.npz, ...`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, g in enumerate(configs):
+        p = directory / f"cfg_{i:04d}.npz"
+        save_gauge(p, g, index=i, **metadata)
+        paths.append(p)
+    return paths
+
+
+def load_ensemble(directory: str | Path) -> list[tuple[GaugeField, dict]]:
+    """Read every configuration of an ensemble directory, in index order."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("cfg_*.npz"))
+    if not paths:
+        raise FileNotFoundError(f"no cfg_*.npz files in {directory}")
+    return [load_gauge(p) for p in paths]

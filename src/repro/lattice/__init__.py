@@ -1,0 +1,24 @@
+"""Lattice geometry: 4-D periodic grids, shifts, checkerboarding.
+
+Array axis order everywhere is ``(T, Z, Y, X)`` followed by internal
+(spin/colour) indices.  Direction index ``mu`` matches the array axis.
+"""
+
+from repro.lattice.geometry import Lattice4D
+from repro.lattice.shifts import shift, shift_with_phase
+from repro.lattice.checkerboard import (
+    parity_mask,
+    checkerboard_masks,
+    site_parity,
+    mask_field,
+)
+
+__all__ = [
+    "Lattice4D",
+    "shift",
+    "shift_with_phase",
+    "parity_mask",
+    "checkerboard_masks",
+    "site_parity",
+    "mask_field",
+]

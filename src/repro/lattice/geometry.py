@@ -1,0 +1,103 @@
+"""The 4-D lattice geometry object shared by fields, operators and the
+decomposition layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+import math
+
+import numpy as np
+
+__all__ = ["Lattice4D"]
+
+#: Axis labels in array order.
+AXIS_NAMES = ("T", "Z", "Y", "X")
+
+
+@dataclass(frozen=True)
+class Lattice4D:
+    """An ``NT x NZ x NY x NX`` periodic hypercubic lattice.
+
+    Parameters
+    ----------
+    shape:
+        Extents ``(NT, NZ, NY, NX)`` in array-axis order.  The time extent
+        comes first so correlators are contiguous slices along axis 0.
+    """
+
+    shape: tuple[int, int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 4:
+            raise ValueError(f"Lattice4D needs 4 extents, got {self.shape}")
+        if any(int(n) < 1 for n in self.shape):
+            raise ValueError(f"extents must be positive, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+
+    # -- basic metrics -----------------------------------------------------
+
+    @property
+    def nt(self) -> int:
+        return self.shape[0]
+
+    @property
+    def nz(self) -> int:
+        return self.shape[1]
+
+    @property
+    def ny(self) -> int:
+        return self.shape[2]
+
+    @property
+    def nx(self) -> int:
+        return self.shape[3]
+
+    @cached_property
+    def volume(self) -> int:
+        return int(math.prod(self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return 4
+
+    @cached_property
+    def spatial_volume(self) -> int:
+        return self.volume // self.nt
+
+    # -- coordinates -------------------------------------------------------
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """Integer coordinates of every site, shape (T, Z, Y, X, 4)."""
+        grids = np.meshgrid(*(np.arange(n) for n in self.shape), indexing="ij")
+        return np.stack(grids, axis=-1)
+
+    def site_index(self, coord: tuple[int, int, int, int]) -> int:
+        """Lexicographic site index of a coordinate tuple."""
+        return int(np.ravel_multi_index(tuple(c % n for c, n in zip(coord, self.shape)), self.shape))
+
+    def neighbor(self, coord: tuple[int, int, int, int], mu: int, dist: int = 1) -> tuple[int, ...]:
+        """Coordinate of the periodic neighbour ``coord + dist * e_mu``."""
+        c = list(coord)
+        c[mu] = (c[mu] + dist) % self.shape[mu]
+        return tuple(c)
+
+    # -- decomposition helpers ----------------------------------------------
+
+    def divisible_by(self, blocks: tuple[int, int, int, int]) -> bool:
+        """Whether each extent divides evenly into ``blocks`` sub-domains."""
+        return all(n % b == 0 for n, b in zip(self.shape, blocks))
+
+    def local_shape(self, blocks: tuple[int, int, int, int]) -> tuple[int, ...]:
+        """Per-rank extents under an even block decomposition."""
+        if not self.divisible_by(blocks):
+            raise ValueError(f"lattice {self.shape} not divisible by rank grid {blocks}")
+        return tuple(n // b for n, b in zip(self.shape, blocks))
+
+    def surface_sites(self, mu: int) -> int:
+        """Number of sites on one face orthogonal to ``mu``."""
+        return self.volume // self.shape[mu]
+
+    def __str__(self) -> str:
+        return "x".join(str(n) for n in self.shape)

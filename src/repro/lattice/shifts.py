@@ -1,0 +1,46 @@
+"""Periodic shifts with optional boundary phases.
+
+``shift(a, mu, +1)`` returns the field whose value at site x is the input at
+``x + e_mu`` (a *forward gather*): ``out[x] = a[x + mu]``.  This is the
+convention used by the hopping-term kernels.
+
+Fermion fields typically carry antiperiodic boundary conditions in time; the
+wrapped slice then picks up a ``-1`` (or a general U(1) phase for twisted
+boundary conditions), implemented by :func:`shift_with_phase`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shift", "shift_with_phase"]
+
+
+def shift(a: np.ndarray, mu: int, dist: int) -> np.ndarray:
+    """Gather ``a`` from ``dist`` sites ahead along axis ``mu``.
+
+    ``out[..., i, ...] = a[..., (i + dist) % N, ...]`` on axis ``mu``.
+    """
+    return np.roll(a, -dist, axis=mu)
+
+
+def shift_with_phase(a: np.ndarray, mu: int, dist: int, phase: complex = 1.0) -> np.ndarray:
+    """Like :func:`shift` but multiplies the wrapped-around slab by ``phase``.
+
+    Only |dist| <= extent is supported (all stencils use dist = +-1).
+    """
+    out = np.roll(a, -dist, axis=mu)
+    if phase == 1.0 or dist == 0:
+        return out
+    n = a.shape[mu]
+    d = abs(dist)
+    if d > n:
+        raise ValueError(f"|dist|={d} exceeds extent {n} along axis {mu}")
+    idx = [slice(None)] * a.ndim
+    if dist > 0:
+        # Sites x >= N - dist read from x + dist - N: they crossed the boundary.
+        idx[mu] = slice(n - d, n)
+    else:
+        idx[mu] = slice(0, d)
+    out[tuple(idx)] = out[tuple(idx)] * phase
+    return out

@@ -1,0 +1,47 @@
+"""Machine models and the scaling simulator.
+
+The paper's petascale numbers come from real BlueGene/Q racks; we cannot run
+those, so this package provides the documented substitution: a parameterised
+analytic machine model (node flops, memory bandwidth, torus links, latency)
+driven by the *actual* message sizes and flop counts recorded by the virtual
+MPI layer.  Weak/strong scaling curves, communication fractions and
+crossover points are produced by replaying that data against a spec —
+absolute Python timings are reported separately and never conflated with
+modelled hardware numbers.
+"""
+
+from repro.machine.spec import MachineSpec, BLUEGENE_Q, GENERIC_CLUSTER
+from repro.machine.roofline import (
+    dslash_arithmetic_intensity,
+    dslash_bytes_per_site,
+    attainable_flops,
+    roofline_report,
+)
+from repro.machine.model import DslashModel, SolverIterationModel
+from repro.machine.scaling import (
+    balanced_rank_grid,
+    weak_scaling,
+    strong_scaling,
+    ScalingPoint,
+    scaling_study,
+)
+from repro.machine.calibrate import calibrate_python_node, measured_dslash_rate
+
+__all__ = [
+    "MachineSpec",
+    "BLUEGENE_Q",
+    "GENERIC_CLUSTER",
+    "dslash_arithmetic_intensity",
+    "dslash_bytes_per_site",
+    "attainable_flops",
+    "roofline_report",
+    "DslashModel",
+    "SolverIterationModel",
+    "balanced_rank_grid",
+    "weak_scaling",
+    "strong_scaling",
+    "ScalingPoint",
+    "scaling_study",
+    "calibrate_python_node",
+    "measured_dslash_rate",
+]

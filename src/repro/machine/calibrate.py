@@ -1,0 +1,75 @@
+"""Calibration: build a machine spec for *this* host's Python kernels.
+
+E9 validates the time model against reality at the only scale we can
+measure — one Python process.  We time the actual numpy Dslash, convert to
+a sustained flop rate, and construct a single-node spec whose model
+predictions must then match further measurements within a stated tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dirac.hopping import hopping_term
+from repro.fields import GaugeField, random_fermion
+from repro.lattice import Lattice4D
+from repro.machine.spec import MachineSpec
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+__all__ = ["measured_dslash_rate", "calibrate_python_node"]
+
+
+def measured_dslash_rate(
+    lattice: Lattice4D,
+    repeats: int = 3,
+    rng: int = 12345,
+    dtype=None,
+) -> tuple[float, float]:
+    """(sites/s, nominal flop/s) of the numpy Dslash on ``lattice``.
+
+    Best-of-``repeats`` timing to suppress scheduler noise, as the
+    optimisation guide recommends for sub-second kernels.
+    """
+    import numpy as np
+
+    dtype = dtype or np.complex128
+    gauge = GaugeField.hot(lattice, rng=rng, dtype=dtype)
+    psi = random_fermion(lattice, rng=rng + 1, dtype=dtype)
+    hopping_term(gauge.u, psi)  # warm-up (allocator, caches)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        hopping_term(gauge.u, psi)
+        best = min(best, time.perf_counter() - t0)
+    sites_per_s = lattice.volume / best
+    return sites_per_s, sites_per_s * WILSON_DSLASH_FLOPS_PER_SITE
+
+
+def calibrate_python_node(
+    lattice: Lattice4D | None = None,
+    repeats: int = 3,
+) -> MachineSpec:
+    """A single-"node" spec whose sustained rate is this host's measured
+    numpy Dslash throughput.
+
+    Network parameters are placeholders (one Python process has no
+    network); only the compute side of the model is calibrated — exactly
+    what E9 checks.
+    """
+    lattice = lattice or Lattice4D((8, 8, 8, 8))
+    _, flops = measured_dslash_rate(lattice, repeats=repeats)
+    return MachineSpec(
+        name="python-node (calibrated)",
+        peak_flops=flops,
+        sustained_fraction=1.0,
+        # Set memory bandwidth high enough that the roofline reproduces the
+        # measured rate: the calibration folds all bottlenecks into flops.
+        mem_bandwidth=flops * 10.0,
+        link_bandwidth=1e9,
+        n_links=1,
+        latency=1e-6,
+        per_hop_latency=0.0,
+        torus_dims=0,
+        cores_per_node=1,
+        overlap_fraction=0.0,
+    )

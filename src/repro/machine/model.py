@@ -1,0 +1,143 @@
+"""Time models for the Dslash and a solver iteration at scale.
+
+Given a :class:`MachineSpec`, a local (per-node) lattice block and a
+precision, :class:`DslashModel` predicts one Dslash application:
+
+* compute: roofline-attainable rate over the local flops;
+* communication: per decomposed direction, two face messages of
+  spin-projected half-spinors (6 complex per site — production codes
+  exchange projected faces, halving the payload), spread over the torus
+  links that can fire concurrently, plus per-message latency;
+* overlap: ``overlap_fraction`` of communication hides behind interior
+  compute, the rest is exposed.
+
+:class:`SolverIterationModel` adds the linear algebra (bandwidth-bound
+axpys) and the latency-bound allreduce of the two CG inner products — the
+term that eventually kills strong scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.machine.roofline import attainable_flops
+from repro.machine.spec import MachineSpec
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE, cg_linalg_flops_per_iter
+
+__all__ = ["DslashModel", "SolverIterationModel"]
+
+#: Complex numbers per site of an exchanged (spin-projected) face.
+HALF_SPINOR_COMPLEX = 6
+
+
+@dataclass(frozen=True)
+class DslashModel:
+    """Predicts one Wilson Dslash on one node of a machine.
+
+    ``local_shape`` is the per-node block; ``decomposed_axes`` lists the
+    directions with off-node neighbours; ``hops`` is the worst-case torus
+    distance of those neighbours (from :class:`~repro.comm.TorusTopology`).
+    """
+
+    spec: MachineSpec
+    local_shape: tuple[int, int, int, int]
+    decomposed_axes: tuple[int, ...] = (0, 1, 2, 3)
+    precision_bytes: int = 8
+    hops: int = 1
+
+    @property
+    def local_volume(self) -> int:
+        return int(math.prod(self.local_shape))
+
+    # -- pieces ---------------------------------------------------------------
+
+    def compute_time(self) -> float:
+        flops = WILSON_DSLASH_FLOPS_PER_SITE * self.local_volume
+        return flops / attainable_flops(self.spec, self.precision_bytes)
+
+    def face_bytes(self, mu: int) -> int:
+        """One face message: half spinors over the face area."""
+        area = self.local_volume // self.local_shape[mu]
+        return area * HALF_SPINOR_COMPLEX * 2 * self.precision_bytes
+
+    def message_count(self) -> int:
+        return 2 * len(self.decomposed_axes)
+
+    def comm_volume(self) -> int:
+        return sum(self.face_bytes(mu) for mu in self.decomposed_axes) * 2
+
+    def comm_time(self) -> float:
+        """Faces stream concurrently over the available links."""
+        if not self.decomposed_axes:
+            return 0.0
+        total_bytes = self.comm_volume()
+        concurrency = min(self.spec.n_links, self.message_count())
+        bw_time = total_bytes / (self.spec.link_bandwidth * concurrency)
+        lat = self.spec.latency + self.spec.per_hop_latency * max(0, self.hops - 1)
+        # Latencies of concurrent messages overlap; charge one per wave.
+        waves = math.ceil(self.message_count() / concurrency)
+        return bw_time + lat * waves
+
+    def time(self) -> float:
+        """Total wall time per Dslash including overlap."""
+        tc = self.compute_time()
+        tm = self.comm_time()
+        hidden = min(tm * self.spec.overlap_fraction, tc)
+        return tc + tm - hidden
+
+    def comm_fraction(self) -> float:
+        """Exposed communication share of the total (0 when fully hidden)."""
+        t = self.time()
+        if t == 0.0:
+            return 0.0
+        return 1.0 - self.compute_time() / t
+
+    def flops_rate(self) -> float:
+        """Delivered flop/s per node for this configuration."""
+        return WILSON_DSLASH_FLOPS_PER_SITE * self.local_volume / self.time()
+
+
+@dataclass(frozen=True)
+class SolverIterationModel:
+    """One CG iteration on the even-odd normal operator at scale.
+
+    Two Dslash-pair applications (normal op), bandwidth-bound vector
+    updates, and one latency-bound global reduction per inner product.
+    """
+
+    dslash: DslashModel
+    nnodes: int
+
+    def dslash_time(self) -> float:
+        # Normal operator: M and M^dag, each one Dslash sweep.
+        return 2.0 * self.dslash.time()
+
+    def linalg_time(self) -> float:
+        reals = self.dslash.local_volume * 24  # one spinor per site
+        flops = cg_linalg_flops_per_iter(reals)
+        # axpy/dot are pure-bandwidth: 3 streams per flop-pair; approximate
+        # with bytes = 1.5 * reals * precision * (flops / (2*reals)).
+        bytes_moved = 5 * reals * self.dslash.precision_bytes
+        return max(
+            flops / self.dslash.spec.sustained_flops,
+            bytes_moved / self.dslash.spec.mem_bandwidth,
+        )
+
+    def allreduce_time(self) -> float:
+        """Two inner products per iteration; tree reduction of one scalar."""
+        if self.nnodes <= 1:
+            return 0.0
+        depth = math.ceil(math.log2(self.nnodes))
+        per_reduce = depth * (self.dslash.spec.latency + self.dslash.spec.per_hop_latency)
+        return 2.0 * per_reduce
+
+    def time(self) -> float:
+        return self.dslash_time() + self.linalg_time() + self.allreduce_time()
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "dslash": self.dslash_time(),
+            "linalg": self.linalg_time(),
+            "allreduce": self.allreduce_time(),
+        }

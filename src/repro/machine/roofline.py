@@ -1,0 +1,66 @@
+"""Roofline analysis of the Wilson Dslash.
+
+The stencil's arithmetic intensity is low (about 1 flop/byte in fp64 with no
+cache reuse), so on every machine of the paper's era it is **memory-
+bandwidth bound** on-node and **network bound** at small local volumes —
+the two regimes whose crossover the scaling study maps.
+"""
+
+from __future__ import annotations
+
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "dslash_bytes_per_site",
+    "dslash_arithmetic_intensity",
+    "attainable_flops",
+    "roofline_report",
+]
+
+
+def dslash_bytes_per_site(precision_bytes: int = 8, gauge_reuse: float = 1.0) -> float:
+    """Memory traffic of one Dslash output site.
+
+    Per site: read 8 gauge links (9 complex each), read 8 neighbour spinors
+    (12 complex each), write 1 spinor (12 complex).  ``gauge_reuse`` > 1
+    models cache reuse of links between the two sites each link touches.
+
+    ``precision_bytes`` is per real number (8 = fp64, 4 = fp32).
+    """
+    if precision_bytes not in (4, 8):
+        raise ValueError(f"precision_bytes must be 4 or 8, got {precision_bytes}")
+    complex_bytes = 2 * precision_bytes
+    gauge = 8 * 9 * complex_bytes / gauge_reuse
+    spinor_in = 8 * 12 * complex_bytes
+    spinor_out = 12 * complex_bytes
+    return gauge + spinor_in + spinor_out
+
+
+def dslash_arithmetic_intensity(precision_bytes: int = 8, gauge_reuse: float = 1.0) -> float:
+    """Flops per byte of the Wilson Dslash."""
+    return WILSON_DSLASH_FLOPS_PER_SITE / dslash_bytes_per_site(precision_bytes, gauge_reuse)
+
+
+def attainable_flops(spec: MachineSpec, precision_bytes: int = 8, gauge_reuse: float = 1.0) -> float:
+    """Roofline-attainable Dslash flop rate on one node.
+
+    ``min(sustained peak, AI * memory bandwidth)`` — for the Wilson stencil
+    the bandwidth term always wins on realistic machines.
+    """
+    ai = dslash_arithmetic_intensity(precision_bytes, gauge_reuse)
+    peak = spec.sustained_flops * (8.0 / precision_bytes if precision_bytes == 4 else 1.0)
+    return min(peak, ai * spec.mem_bandwidth)
+
+
+def roofline_report(spec: MachineSpec) -> dict[str, float]:
+    """The numbers quoted in the machine-description table."""
+    return {
+        "ai_fp64": dslash_arithmetic_intensity(8),
+        "ai_fp32": dslash_arithmetic_intensity(4),
+        "attainable_fp64": attainable_flops(spec, 8),
+        "attainable_fp32": attainable_flops(spec, 4),
+        "peak": spec.peak_flops,
+        "mem_bandwidth": spec.mem_bandwidth,
+        "fp32_speedup": attainable_flops(spec, 4) / attainable_flops(spec, 8),
+    }

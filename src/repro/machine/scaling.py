@@ -1,0 +1,229 @@
+"""Weak- and strong-scaling studies on the modelled machine.
+
+These functions regenerate the paper's headline figures: aggregate
+sustained performance versus node count at fixed local volume (weak
+scaling), and time-to-solution versus node count at fixed global lattice
+(strong scaling), including the communication-bound collapse at small local
+volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.comm import RankGrid, TorusTopology
+from repro.machine.model import DslashModel, SolverIterationModel
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "balanced_rank_grid",
+    "weak_scaling",
+    "strong_scaling",
+    "ScalingPoint",
+    "scaling_study",
+]
+
+
+def _prime_factors(n: int) -> list[int]:
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def balanced_rank_grid(
+    global_shape: tuple[int, int, int, int], nranks: int
+) -> RankGrid:
+    """Factor ``nranks`` over the 4 directions, keeping local blocks fat.
+
+    Greedy: assign each prime factor to the axis whose current local extent
+    is largest among those still divisible — the heuristic production job
+    scripts use.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    dims = [1, 1, 1, 1]
+    local = list(global_shape)
+    for p in _prime_factors(nranks):
+        candidates = [mu for mu in range(4) if local[mu] % p == 0]
+        if not candidates:
+            raise ValueError(
+                f"cannot decompose lattice {global_shape} over {nranks} ranks: "
+                f"prime factor {p} does not divide any remaining local extent {local}"
+            )
+        mu = max(candidates, key=lambda m: local[m])
+        dims[mu] *= p
+        local[mu] //= p
+    return RankGrid(tuple(dims))
+
+
+def _torus_for(nnodes: int, torus_dims: int) -> TorusTopology:
+    """A near-cubic torus of ``nnodes`` nodes in ``torus_dims`` dimensions."""
+    if torus_dims <= 0 or nnodes == 1:
+        return TorusTopology((max(nnodes, 1),))
+    dims = [1] * torus_dims
+    for p in _prime_factors(nnodes):
+        mu = dims.index(min(dims))
+        dims[mu] *= p
+    return TorusTopology(tuple(dims))
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of a scaling table."""
+
+    nodes: int
+    local_shape: tuple[int, int, int, int]
+    time_dslash: float
+    time_cg_iter: float
+    node_flops: float
+    aggregate_flops: float
+    efficiency: float
+    comm_fraction: float
+
+    def row(self) -> list:
+        return [
+            self.nodes,
+            "x".join(map(str, self.local_shape)),
+            self.time_dslash,
+            self.time_cg_iter,
+            self.node_flops / 1e9,
+            self.aggregate_flops / 1e12,
+            self.efficiency,
+            self.comm_fraction,
+        ]
+
+    @staticmethod
+    def columns() -> list[str]:
+        return [
+            "nodes",
+            "local",
+            "t_dslash [s]",
+            "t_cg_iter [s]",
+            "GF/s/node",
+            "agg TF/s",
+            "efficiency",
+            "comm frac",
+        ]
+
+
+def _point(
+    spec: MachineSpec,
+    nodes: int,
+    local_shape: tuple[int, int, int, int],
+    decomposed_axes: tuple[int, ...],
+    precision_bytes: int,
+    baseline_node_flops: float | None,
+) -> ScalingPoint:
+    torus = _torus_for(nodes, spec.torus_dims)
+    hops = 1 if nodes > 1 else 0
+    model = DslashModel(
+        spec=spec,
+        local_shape=local_shape,
+        decomposed_axes=decomposed_axes if nodes > 1 else (),
+        precision_bytes=precision_bytes,
+        hops=max(hops, 1),
+    )
+    it = SolverIterationModel(model, nodes)
+    node_flops = model.flops_rate()
+    base = baseline_node_flops if baseline_node_flops is not None else node_flops
+    return ScalingPoint(
+        nodes=nodes,
+        local_shape=local_shape,
+        time_dslash=model.time(),
+        time_cg_iter=it.time(),
+        node_flops=node_flops,
+        aggregate_flops=node_flops * nodes,
+        efficiency=node_flops / base,
+        comm_fraction=model.comm_fraction(),
+    )
+
+
+def weak_scaling(
+    spec: MachineSpec,
+    local_shape: tuple[int, int, int, int],
+    node_counts: list[int],
+    precision_bytes: int = 8,
+) -> list[ScalingPoint]:
+    """Fixed local volume per node; the global lattice grows with nodes.
+
+    Ideal weak scaling is flat GF/s/node; deviations come only from the
+    surface exchange and the growing allreduce depth.
+    """
+    points = []
+    baseline = None
+    for n in sorted(node_counts):
+        p = _point(spec, n, tuple(local_shape), (0, 1, 2, 3), precision_bytes, baseline)
+        if baseline is None:
+            baseline = p.node_flops
+            p = _point(spec, n, tuple(local_shape), (0, 1, 2, 3), precision_bytes, baseline)
+        points.append(p)
+    return points
+
+
+def strong_scaling(
+    spec: MachineSpec,
+    global_shape: tuple[int, int, int, int],
+    node_counts: list[int],
+    precision_bytes: int = 8,
+) -> list[ScalingPoint]:
+    """Fixed global lattice carved into ever-smaller local blocks.
+
+    Efficiency here is speedup/nodes relative to the smallest node count;
+    the communication fraction rises as the surface-to-volume ratio grows
+    until the curve flattens — the crossover the paper maps.
+    """
+    points = []
+    base_time = None
+    base_nodes = None
+    for n in sorted(node_counts):
+        grid = balanced_rank_grid(global_shape, n)
+        local = tuple(g // d for g, d in zip(global_shape, grid.dims))
+        decomposed = grid.decomposed_axes()
+        p = _point(spec, n, local, decomposed, precision_bytes, None)
+        if base_time is None:
+            base_time, base_nodes = p.time_dslash, n
+        speedup = base_time / p.time_dslash
+        p = ScalingPoint(
+            nodes=p.nodes,
+            local_shape=p.local_shape,
+            time_dslash=p.time_dslash,
+            time_cg_iter=p.time_cg_iter,
+            node_flops=p.node_flops,
+            aggregate_flops=p.aggregate_flops,
+            efficiency=speedup / (n / base_nodes),
+            comm_fraction=p.comm_fraction,
+        )
+        points.append(p)
+    return points
+
+
+def scaling_study(
+    spec: MachineSpec,
+    local_shape: tuple[int, int, int, int] = (8, 8, 8, 8),
+    global_shape: tuple[int, int, int, int] = (96, 48, 48, 48),
+    max_nodes_log2: int = 14,
+    precision_bytes: int = 8,
+) -> dict[str, list[ScalingPoint]]:
+    """The full study both benchmark E2/E3 and the example script run."""
+    counts = [2**k for k in range(0, max_nodes_log2 + 1, 2)]
+    strong_counts = [n for n in counts if _decomposable(global_shape, n)]
+    return {
+        "weak": weak_scaling(spec, local_shape, counts, precision_bytes),
+        "strong": strong_scaling(spec, global_shape, strong_counts, precision_bytes),
+    }
+
+
+def _decomposable(global_shape: tuple[int, int, int, int], nranks: int) -> bool:
+    try:
+        balanced_rank_grid(global_shape, nranks)
+        return True
+    except ValueError:
+        return False

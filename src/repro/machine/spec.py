@@ -1,0 +1,97 @@
+"""Machine specifications.
+
+``BLUEGENE_Q`` follows the published per-node characteristics of the
+machine the paper-era campaigns ran on: 16 compute cores at 1.6 GHz with
+4-wide fused multiply-add QPX (204.8 GF/s peak fp64), ~28 GB/s sustained
+memory bandwidth (STREAM), and a 5-D torus with 10 bidirectional links of
+2 GB/s each and ~1 microsecond nearest-neighbour latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "BLUEGENE_Q", "GENERIC_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-node hardware parameters of a distributed machine.
+
+    All rates are bytes/s or flop/s; times in seconds.
+    """
+
+    name: str
+    #: Peak floating-point rate per node (fp64).
+    peak_flops: float
+    #: Fraction of peak a tuned Dslash sustains when compute-bound.
+    sustained_fraction: float
+    #: Sustained memory bandwidth per node (STREAM-like).
+    mem_bandwidth: float
+    #: Bandwidth of one network link, one direction.
+    link_bandwidth: float
+    #: Number of links a node can drive concurrently.
+    n_links: int
+    #: Software + hardware latency per message.
+    latency: float
+    #: Additional latency per torus hop beyond the first.
+    per_hop_latency: float
+    #: Torus dimensionality of the interconnect (5 for BG/Q).
+    torus_dims: int
+    #: Cores (ranks) per node.
+    cores_per_node: int
+    #: Fraction of communication hideable behind interior compute (0..1).
+    overlap_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sustained_fraction <= 1.0:
+            raise ValueError(f"sustained_fraction must be in (0,1], got {self.sustained_fraction}")
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError(f"overlap_fraction must be in [0,1], got {self.overlap_fraction}")
+        for attr in ("peak_flops", "mem_bandwidth", "link_bandwidth", "latency"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.peak_flops * self.sustained_fraction
+
+    def with_overlap(self, overlap_fraction: float) -> "MachineSpec":
+        """Clone with a different comm/compute overlap (ablation E10)."""
+        return replace(self, overlap_fraction=overlap_fraction)
+
+    def with_precision_scaling(self, precision_bytes: int) -> float:
+        """Effective peak scaling for reduced precision: fp32 doubles SIMD
+        width on BG/Q-era hardware."""
+        return self.peak_flops * (8.0 / precision_bytes)
+
+
+#: IBM BlueGene/Q node + 5-D torus (paper-era hardware).
+BLUEGENE_Q = MachineSpec(
+    name="BlueGene/Q",
+    peak_flops=204.8e9,
+    sustained_fraction=0.30,  # tuned QPX Dslash sustains tens of % of peak
+    mem_bandwidth=28e9,
+    link_bandwidth=2e9,
+    n_links=10,
+    latency=1.0e-6,
+    per_hop_latency=0.05e-6,
+    torus_dims=5,
+    cores_per_node=16,
+    overlap_fraction=0.8,  # BG/Q messaging unit overlaps well
+)
+
+#: A contemporary commodity cluster (dual-socket node + fat-tree IB).
+GENERIC_CLUSTER = MachineSpec(
+    name="generic-cluster",
+    peak_flops=500e9,
+    sustained_fraction=0.10,
+    mem_bandwidth=100e9,
+    link_bandwidth=12.5e9,
+    n_links=1,
+    latency=1.5e-6,
+    per_hop_latency=0.1e-6,
+    torus_dims=0,  # switched fabric: hop count ~ constant
+    cores_per_node=32,
+    overlap_fraction=0.3,
+)

@@ -1,0 +1,60 @@
+"""Observables: gauge quantities, quark propagators, hadron spectroscopy.
+
+The "origin of mass" pipeline: generate gauge configurations, solve the
+Dirac equation for point-source propagators, contract them into hadron
+correlators, and extract masses from their exponential decay — almost all
+of the mass so obtained is QCD binding energy, not quark mass.
+"""
+
+from repro.measure.observables import (
+    gauge_observables,
+    average_plaquette,
+    polyakov_loop,
+    wilson_loop,
+)
+from repro.measure.propagator import point_propagator, propagator_norm_check
+from repro.measure.correlator import (
+    meson_correlator,
+    pion_correlator,
+    rho_correlator,
+    nucleon_correlator,
+    charge_conjugation_matrix,
+)
+from repro.measure.effective_mass import effective_mass, cosh_effective_mass
+from repro.measure.fitting import fit_cosh, fit_exp, FitResult
+from repro.measure.spectrum import SpectrumResult, measure_spectrum, gmor_scan
+from repro.measure.sources import wall_source, momentum_source, gaussian_smear, spatial_hop
+from repro.measure.dwf_prop import dwf_solve_4d, dwf_point_propagator, dwf_pion_correlator
+from repro.measure.potential import wilson_loop_matrix, static_potential, creutz_ratio
+
+__all__ = [
+    "gauge_observables",
+    "average_plaquette",
+    "polyakov_loop",
+    "wilson_loop",
+    "point_propagator",
+    "propagator_norm_check",
+    "meson_correlator",
+    "pion_correlator",
+    "rho_correlator",
+    "nucleon_correlator",
+    "charge_conjugation_matrix",
+    "effective_mass",
+    "cosh_effective_mass",
+    "fit_cosh",
+    "fit_exp",
+    "FitResult",
+    "SpectrumResult",
+    "measure_spectrum",
+    "gmor_scan",
+    "wall_source",
+    "momentum_source",
+    "gaussian_smear",
+    "spatial_hop",
+    "dwf_solve_4d",
+    "dwf_point_propagator",
+    "dwf_pion_correlator",
+    "wilson_loop_matrix",
+    "static_potential",
+    "creutz_ratio",
+]

@@ -1,0 +1,69 @@
+"""Physical (4-D) quark propagators from the domain-wall operator.
+
+The physical quark fields live on the walls of the 5th dimension::
+
+    q(x)     = P_- psi(x, 0) + P_+ psi(x, Ls-1)
+    q-bar(x) = psi-bar(x, Ls-1) P_- + psi-bar(x, 0) P_+
+
+so one 4-D propagator column solves ``D_dwf psi = b5`` with the source
+embedded on the walls (``b5_0 = P_+ b``, ``b5_{Ls-1} = P_- b``) and reads
+the solution back off the walls.  The resulting S is gamma5-Hermitian like
+any physical quark propagator — the convention test of this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.dwf import DomainWallDirac, _chiral_minus, _chiral_plus
+from repro.fields import point_source
+from repro.solvers.cg import cg
+
+__all__ = ["dwf_solve_4d", "dwf_point_propagator", "dwf_pion_correlator"]
+
+
+def _embed_source(dwf: DomainWallDirac, b: np.ndarray) -> np.ndarray:
+    b5 = dwf.zero_field(dtype=b.dtype)
+    b5[0] = _chiral_plus(b)
+    b5[dwf.ls - 1] = _chiral_minus(b)
+    return b5
+
+
+def _extract_sink(dwf: DomainWallDirac, psi5: np.ndarray) -> np.ndarray:
+    return _chiral_minus(psi5[0]) + _chiral_plus(psi5[dwf.ls - 1])
+
+
+def dwf_solve_4d(
+    dwf: DomainWallDirac,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    max_iter: int = 20000,
+) -> np.ndarray:
+    """One 4-D propagator column: ``S b`` through the 5-D solve."""
+    b5 = _embed_source(dwf, b)
+    nop = dwf.normal_op()
+    res = cg(nop, dwf.apply_dagger(b5), tol=tol, max_iter=max_iter, record_history=False)
+    if not res.converged:
+        raise RuntimeError(f"DWF solve failed: {res.summary()}")
+    return _extract_sink(dwf, res.x)
+
+
+def dwf_point_propagator(
+    dwf: DomainWallDirac,
+    source_coord: tuple[int, int, int, int] = (0, 0, 0, 0),
+    tol: float = 1e-8,
+    max_iter: int = 20000,
+) -> np.ndarray:
+    """The 12-column 4-D point propagator ``S[t,z,y,x,s,c,s0,c0]``."""
+    lat = dwf.lattice
+    out = np.empty(lat.shape + (4, 3, 4, 3), dtype=np.complex128)
+    for s0 in range(4):
+        for c0 in range(3):
+            b = point_source(lat, source_coord, s0, c0)
+            out[..., s0, c0] = dwf_solve_4d(dwf, b, tol=tol, max_iter=max_iter)
+    return out
+
+
+def dwf_pion_correlator(prop4d: np.ndarray) -> np.ndarray:
+    """``C_pi(t) = sum_x |S(x)|^2`` for the wall-to-wall physical quark."""
+    return np.sum(np.abs(prop4d) ** 2, axis=tuple(range(1, prop4d.ndim)))

@@ -1,0 +1,76 @@
+"""The static quark potential from Wilson loops.
+
+``V(r) = -lim_t ln[ W(r, t+1) / W(r, t) ]`` rises linearly at large r in a
+confining theory — the area law that makes quarks unobservable in
+isolation and (through the string tension) sets the physical scale of
+quenched ensembles.  The Creutz ratio isolates the string tension from the
+perimeter and constant terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GaugeField
+from repro.measure.observables import wilson_loop
+
+__all__ = ["wilson_loop_matrix", "static_potential", "creutz_ratio"]
+
+
+def wilson_loop_matrix(
+    gauge: GaugeField,
+    r_max: int,
+    t_max: int,
+    spatial: int | None = None,
+    temporal: int = 0,
+) -> np.ndarray:
+    """``W[r-1, t-1] = <W(r x t)>`` for r = 1..r_max, t = 1..t_max.
+
+    ``spatial=None`` (default) averages over the three spatial directions —
+    a 3x noise reduction that loop measurements on small ensembles need.
+    """
+    if r_max < 1 or t_max < 1:
+        raise ValueError(f"loop extents must be >= 1, got ({r_max}, {t_max})")
+    spatial_dirs = (1, 2, 3) if spatial is None else (spatial,)
+    w = np.zeros((r_max, t_max))
+    for r in range(1, r_max + 1):
+        for t in range(1, t_max + 1):
+            for mu in spatial_dirs:
+                w[r - 1, t - 1] += wilson_loop(gauge, r, t, mu=mu, nu=temporal)
+    return w / len(spatial_dirs)
+
+
+def static_potential(w: np.ndarray, t: int | None = None) -> np.ndarray:
+    """``V(r) = ln[ W(r, t) / W(r, t+1) ]`` from a loop matrix.
+
+    ``t`` indexes the temporal extent used (1-based; default: the largest
+    pair available).  Entries with non-positive loops come out NaN — loops
+    beyond the signal-to-noise horizon of a single configuration.
+    """
+    r_max, t_max = w.shape
+    if t_max < 2:
+        raise ValueError("need t_max >= 2 to form a ratio")
+    t_idx = (t_max - 1) if t is None else t
+    if not 1 <= t_idx <= t_max - 1:
+        raise ValueError(f"t must be in [1, {t_max - 1}], got {t_idx}")
+    num = w[:, t_idx - 1]
+    den = w[:, t_idx]
+    out = np.full(r_max, np.nan)
+    ok = (num > 0) & (den > 0)
+    out[ok] = np.log(num[ok] / den[ok])
+    return out
+
+
+def creutz_ratio(w: np.ndarray, r: int, t: int) -> float:
+    """``chi(r, t) = -ln[ W(r,t) W(r-1,t-1) / (W(r,t-1) W(r-1,t)) ]``.
+
+    Approaches the string tension ``sigma`` for large loops; exact at all
+    sizes in the strong-coupling (area-law-only) limit.
+    """
+    if r < 2 or t < 2:
+        raise ValueError(f"Creutz ratio needs r, t >= 2, got ({r}, {t})")
+    a = w[r - 1, t - 1] * w[r - 2, t - 2]
+    b = w[r - 1, t - 2] * w[r - 2, t - 1]
+    if a <= 0 or b <= 0:
+        return float("nan")
+    return float(-np.log(a / b))

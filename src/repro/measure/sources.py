@@ -1,0 +1,91 @@
+"""Extended source types: wall, momentum, and gauge-covariant Gaussian
+smearing.
+
+Point sources couple to every state equally; production spectroscopy
+improves ground-state overlap with spatially extended sources.  Gaussian
+(Wuppertal) smearing applies ``(1 + kappa H)^n`` with the gauge-covariant
+spatial hopping ``H`` — gauge covariance is what distinguishes it from a
+mere convolution and is tested explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GaugeField, zero_fermion
+from repro.lattice import Lattice4D, shift
+
+__all__ = ["wall_source", "momentum_source", "gaussian_smear", "spatial_hop"]
+
+
+def wall_source(
+    lattice: Lattice4D, t0: int, spin: int, color: int, dtype=np.complex128
+) -> np.ndarray:
+    """Unit amplitude on every spatial site of timeslice ``t0``.
+
+    Projects onto zero momentum at the source, doubling statistics for
+    p = 0 correlators (at the price of gauge-variant contamination, which
+    is why wall sources pair with gauge fixing).
+    """
+    if not (0 <= spin < 4 and 0 <= color < 3):
+        raise ValueError(f"invalid spin/colour ({spin}, {color})")
+    src = zero_fermion(lattice, dtype=dtype)
+    src[t0 % lattice.nt, :, :, :, spin, color] = 1.0
+    return src
+
+
+def momentum_source(
+    lattice: Lattice4D,
+    t0: int,
+    momentum: tuple[int, int, int],
+    spin: int,
+    color: int,
+    dtype=np.complex128,
+) -> np.ndarray:
+    """``e^{i p . x}`` on timeslice ``t0`` with integer momentum numbers
+    (units of 2 pi / L per direction, order (Z, Y, X))."""
+    if not (0 <= spin < 4 and 0 <= color < 3):
+        raise ValueError(f"invalid spin/colour ({spin}, {color})")
+    src = zero_fermion(lattice, dtype=dtype)
+    c = lattice.coords
+    p = [2.0 * np.pi * momentum[i] / lattice.shape[1 + i] for i in range(3)]
+    phase = np.exp(1j * (p[0] * c[..., 1] + p[1] * c[..., 2] + p[2] * c[..., 3]))
+    src[t0 % lattice.nt, :, :, :, spin, color] = phase[t0 % lattice.nt]
+    return src
+
+
+def spatial_hop(gauge: GaugeField, psi: np.ndarray) -> np.ndarray:
+    """Gauge-covariant spatial hopping (the smearing kernel):
+
+    ``H psi(x) = sum_{k=1..3} [ U_k(x) psi(x+k) + U_k(x-k)^dag psi(x-k) ]``
+
+    acting on colour only (spin rides along); time is untouched so smearing
+    never mixes timeslices.
+    """
+    out = np.zeros_like(psi)
+    u = gauge.u
+    for mu in (1, 2, 3):  # spatial axes (Z, Y, X)
+        umu = u[mu]
+        out += np.einsum("...ab,...sb->...sa", umu, shift(psi, mu, 1))
+        u_bwd = shift(umu, mu, -1)
+        out += np.einsum("...ba,...sb->...sa", np.conj(u_bwd), shift(psi, mu, -1))
+    return out
+
+
+def gaussian_smear(
+    gauge: GaugeField, psi: np.ndarray, kappa: float = 0.2, n_iter: int = 10
+) -> np.ndarray:
+    """Wuppertal smearing ``[(1 + kappa H) / (1 + 6 kappa)]^n psi``.
+
+    The normalisation keeps the amplitude O(1); the smearing radius grows
+    like ``sqrt(n)``.
+    """
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    if n_iter < 0:
+        raise ValueError(f"n_iter must be >= 0, got {n_iter}")
+    out = psi.copy()
+    norm = 1.0 + 6.0 * kappa
+    for _ in range(n_iter):
+        out = (out + kappa * spatial_hop(gauge, out)) / norm
+    return out

@@ -1,0 +1,19 @@
+"""Link smearing and the Wilson (gradient) flow.
+
+Smearing suppresses ultraviolet noise in gauge observables and is part of
+every modern measurement chain; the Wilson flow additionally defines the
+reference scales (t0, w0) production ensembles are calibrated with.
+"""
+
+from repro.smear.ape import ape_smear
+from repro.smear.stout import stout_smear
+from repro.smear.flow import wilson_flow, flow_energy_density, find_t0, FlowPoint
+
+__all__ = [
+    "ape_smear",
+    "stout_smear",
+    "wilson_flow",
+    "flow_energy_density",
+    "find_t0",
+    "FlowPoint",
+]

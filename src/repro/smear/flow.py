@@ -1,0 +1,103 @@
+"""The Wilson (gradient) flow.
+
+Integrates the flow equation ``dV/dt = Z(V) V`` with
+``Z_mu(x) = -Ta[ V_mu(x) A_mu(x) ]`` (the Wilson-action gradient) using
+Luscher's third-order Runge-Kutta scheme.  The flow drives the field
+towards (locally) minimal action, smoothing UV fluctuations at length
+scale ``sqrt(8t)``; the renormalised coupling observable ``t^2 <E(t)>``
+defines the reference scale ``t0`` via ``t0^2 <E(t0)> = 0.3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import su3
+from repro.fields import GaugeField
+from repro.loops import plaquette_field, staple_sum
+
+__all__ = ["wilson_flow", "flow_energy_density", "find_t0", "FlowPoint"]
+
+
+def _flow_gradient(u: np.ndarray) -> np.ndarray:
+    """``Z[mu, x] = -Ta(U A)`` — the direction of steepest action descent."""
+    z = np.empty_like(u)
+    for mu in range(4):
+        z[mu] = -su3.project_algebra(su3.mul(u[mu], staple_sum(u, mu)))
+    return z
+
+
+def flow_energy_density(gauge: GaugeField) -> float:
+    """Plaquette discretisation of ``E = (1/4) G_munu^a G_munu^a``:
+
+    ``E = (2/V) sum_x sum_{mu<nu} Re tr[1 - P_munu(x)]``.
+    """
+    u = gauge.u
+    total = 0.0
+    for mu in range(4):
+        for nu in range(mu + 1, 4):
+            total += float(np.sum(su3.NC - su3.re_trace(plaquette_field(u, mu, nu))))
+    return 2.0 * total / gauge.lattice.volume
+
+
+@dataclass(frozen=True)
+class FlowPoint:
+    """One sample along the flow trajectory."""
+
+    t: float
+    energy: float
+    t2e: float
+    plaquette: float
+
+
+def wilson_flow(
+    gauge: GaugeField,
+    t_max: float,
+    eps: float = 0.02,
+    measure_every: int = 1,
+) -> tuple[GaugeField, list[FlowPoint]]:
+    """Flow to time ``t_max`` with RK3 steps of size ``eps``.
+
+    Returns the flowed field (copy) and the trajectory of
+    ``(t, E, t^2 E, plaquette)`` samples.  Luscher's scheme:
+
+    ``W1 = exp(1/4 Z0) W0``
+    ``W2 = exp(8/9 Z1 - 17/36 Z0) W1``
+    ``V  = exp(3/4 Z2 - 8/9 Z1 + 17/36 Z0) W2``   with  ``Zi = eps Z(Wi)``.
+    """
+    if eps <= 0 or t_max < 0:
+        raise ValueError(f"need eps > 0 and t_max >= 0, got ({eps}, {t_max})")
+    from repro.loops import average_plaquette
+
+    out = gauge.copy()
+    n_steps = int(round(t_max / eps))
+    history = [
+        FlowPoint(0.0, flow_energy_density(out), 0.0, average_plaquette(out.u))
+    ]
+    t = 0.0
+    for step in range(n_steps):
+        z0 = eps * _flow_gradient(out.u)
+        out.u = su3.mul(su3.expm_su3(0.25 * z0), out.u)
+        z1 = eps * _flow_gradient(out.u)
+        out.u = su3.mul(su3.expm_su3((8.0 / 9.0) * z1 - (17.0 / 36.0) * z0), out.u)
+        z2 = eps * _flow_gradient(out.u)
+        out.u = su3.mul(
+            su3.expm_su3((3.0 / 4.0) * z2 - (8.0 / 9.0) * z1 + (17.0 / 36.0) * z0), out.u
+        )
+        t += eps
+        if (step + 1) % measure_every == 0 or step == n_steps - 1:
+            e = flow_energy_density(out)
+            history.append(FlowPoint(t, e, t * t * e, average_plaquette(out.u)))
+    return out, history
+
+
+def find_t0(history: list[FlowPoint], target: float = 0.3) -> float | None:
+    """The scale ``t0``: flow time where ``t^2 E`` crosses ``target``
+    (linear interpolation); None if not reached."""
+    for a, b in zip(history, history[1:]):
+        if a.t2e < target <= b.t2e:
+            frac = (target - a.t2e) / (b.t2e - a.t2e)
+            return a.t + frac * (b.t - a.t)
+    return None

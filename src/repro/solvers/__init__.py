@@ -1,0 +1,37 @@
+"""Krylov solvers for the lattice Dirac equation.
+
+All solvers operate on :class:`~repro.dirac.LinearOperator` instances and
+ndarray right-hand sides, count iterations/operator applications, and record
+residual histories for the convergence figures.
+
+The paper's production solver is the **mixed-precision defect-correction
+CG**: an fp64 outer loop wrapping an fp32 inner CG — the fp32 operator is
+~2x faster (half the memory traffic of this bandwidth-bound stencil) while
+the outer loop restores full-precision accuracy.
+"""
+
+from repro.solvers.base import SolveResult
+from repro.solvers.cg import cg
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.gcr import gcr
+from repro.solvers.multishift import multishift_cg
+from repro.solvers.mixed import mixed_precision_cg
+from repro.solvers.wilson_solve import solve_wilson, solve_wilson_eo
+from repro.solvers.lanczos import lanczos, EigenPairs
+from repro.solvers.deflation import deflated_cg
+from repro.solvers.spmd import cg_spmd
+
+__all__ = [
+    "SolveResult",
+    "cg",
+    "bicgstab",
+    "gcr",
+    "multishift_cg",
+    "mixed_precision_cg",
+    "solve_wilson",
+    "solve_wilson_eo",
+    "lanczos",
+    "EigenPairs",
+    "deflated_cg",
+    "cg_spmd",
+]

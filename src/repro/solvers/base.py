@@ -1,0 +1,62 @@
+"""Common solver result type and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        The solution field.
+    converged:
+        Whether the target tolerance was reached within ``max_iter``.
+    iterations:
+        Outer iteration count of the algorithm that produced ``x``.
+    residual:
+        Final *relative* residual ``|b - A x| / |b|`` as tracked by the
+        algorithm (recurrence residual unless the solver verifies).
+    history:
+        Relative residual after each iteration (including iteration 0).
+    operator_applies:
+        Number of operator applications consumed (all precisions).
+    flops:
+        Nominal flops spent in operator applications.
+    wall_time:
+        Seconds of wall-clock time.
+    inner_iterations:
+        For two-level schemes (mixed precision): total inner iterations.
+    label:
+        Algorithm tag for reports ("cg", "mixed_cg", ...).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    history: list[float] = field(default_factory=list)
+    operator_applies: int = 0
+    flops: int = 0
+    wall_time: float = 0.0
+    inner_iterations: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.residual = float(self.residual)
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        extra = f", inner={self.inner_iterations}" if self.inner_iterations else ""
+        return (
+            f"{self.label or 'solve'}: {status} in {self.iterations} iterations"
+            f" (|r|/|b| = {self.residual:.3e}, {self.operator_applies} op applies{extra},"
+            f" {self.wall_time:.3f} s)"
+        )

@@ -1,0 +1,90 @@
+"""Conjugate gradients for Hermitian positive-definite operators.
+
+The workhorse of lattice QCD: applied to the normal equations
+``M^dag M x = M^dag b`` (or the even-odd Schur system).  In-place updates
+keep the per-iteration allocation at the single operator-output array, per
+the numpy performance guidance.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dirac.operator import LinearOperator
+from repro.fields import norm2
+from repro.solvers.base import SolveResult
+
+__all__ = ["cg"]
+
+
+def cg(
+    op: LinearOperator,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 2000,
+    record_history: bool = True,
+) -> SolveResult:
+    """Solve ``op x = b`` with plain CG.
+
+    ``op`` must be Hermitian positive definite (use
+    ``dirac.normal_op()`` for a Dirac matrix).  Convergence criterion is the
+    recurrence residual: ``|r_k| <= tol * |b|``.
+    """
+    t0 = time.perf_counter()
+    applies0 = op.n_applies
+
+    b_norm2 = norm2(b)
+    if b_norm2 == 0.0:
+        return SolveResult(
+            x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
+            history=[0.0], label="cg",
+        )
+
+    if x0 is None:
+        x = np.zeros_like(b)
+        r = b.copy()
+    else:
+        x = x0.astype(b.dtype, copy=True)
+        r = b - op(x)
+
+    p = r.copy()
+    r2 = norm2(r)
+    target2 = (tol * tol) * b_norm2
+    history = [np.sqrt(r2 / b_norm2)] if record_history else []
+
+    it = 0
+    converged = r2 <= target2
+    while not converged and it < max_iter:
+        ap = op(p)
+        pap = np.vdot(p, ap).real
+        if pap <= 0.0:
+            # Operator is not positive definite (or roundoff at the limit).
+            break
+        alpha = r2 / pap
+        x += alpha * p
+        r -= alpha * ap
+        r2_new = norm2(r)
+        beta = r2_new / r2
+        p *= beta
+        p += r
+        r2 = r2_new
+        it += 1
+        if record_history:
+            history.append(float(np.sqrt(r2 / b_norm2)))
+        converged = r2 <= target2
+
+    applies = op.n_applies - applies0
+    return SolveResult(
+        x=x,
+        converged=bool(converged),
+        iterations=it,
+        residual=float(np.sqrt(r2 / b_norm2)),
+        history=history,
+        operator_applies=applies,
+        flops=applies * op.flops_per_apply,
+        wall_time=time.perf_counter() - t0,
+        label="cg",
+    )

@@ -1,0 +1,76 @@
+"""Deflated CG: project the known low modes out of the iteration.
+
+With eigenpairs ``(lambda_i, v_i)`` of Hermitian positive-definite ``A``,
+split the solve as ``x = sum_i (v_i^dag b / lambda_i) v_i + x_perp`` and
+run CG in the deflated complement, whose condition number is
+``lambda_max / lambda_{k+1}`` instead of ``lambda_max / lambda_1`` —
+iteration counts drop accordingly for light quarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.operator import LinearOperator
+from repro.fields import inner
+from repro.solvers.base import SolveResult
+from repro.solvers.cg import cg
+from repro.solvers.lanczos import EigenPairs
+
+__all__ = ["deflated_cg"]
+
+
+def _project_out(x: np.ndarray, eigen: EigenPairs) -> np.ndarray:
+    out = x.copy()
+    for v in eigen.vectors:
+        out -= inner(v, out) * v
+    return out
+
+
+class _DeflatedOperator(LinearOperator):
+    """``P A P`` restricted to the complement of the deflation space."""
+
+    def __init__(self, inner_op: LinearOperator, eigen: EigenPairs) -> None:
+        super().__init__()
+        self.inner_op = inner_op
+        self.eigen = eigen
+        self.flops_per_apply = inner_op.flops_per_apply
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return _project_out(self.inner_op(x), self.eigen)
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x)
+
+
+def deflated_cg(
+    op: LinearOperator,
+    b: np.ndarray,
+    eigen: EigenPairs,
+    tol: float = 1e-8,
+    max_iter: int = 2000,
+) -> SolveResult:
+    """Solve Hermitian positive-definite ``op x = b`` with deflation.
+
+    The exact low-mode component comes from the spectral decomposition;
+    CG runs on the deflated remainder.  Eigenvector inexactness limits the
+    final accuracy to roughly the eigenpair residuals — pass well-converged
+    pairs for tight tolerances.
+    """
+    if len(eigen) == 0:
+        return cg(op, b, tol=tol, max_iter=max_iter)
+    if np.any(eigen.values <= 0):
+        raise ValueError("deflation requires positive eigenvalues (Hermitian PD operator)")
+
+    x_low = np.zeros_like(b)
+    for lam, v in zip(eigen.values, eigen.vectors):
+        x_low += (inner(v, b) / lam) * v
+
+    b_perp = _project_out(b, eigen)
+    dop = _DeflatedOperator(op, eigen)
+    res = cg(dop, b_perp, tol=tol, max_iter=max_iter)
+    # Combine and recompute accounting against the original system.
+    res.x = res.x + x_low
+    res.operator_applies += 0  # deflated applies already counted via dop
+    res.label = f"deflated_cg[k={len(eigen)}]"
+    return res

@@ -1,0 +1,97 @@
+"""Restarted GCR (generalised conjugate residuals).
+
+A flexible minimal-residual method for non-Hermitian systems; restart length
+``m`` bounds the memory.  Used as the outer method of flexible/nested
+schemes and as a baseline in the solver-comparison table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dirac.operator import LinearOperator
+from repro.fields import norm2
+from repro.solvers.base import SolveResult
+
+__all__ = ["gcr"]
+
+
+def gcr(
+    op: LinearOperator,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 2000,
+    restart: int = 16,
+    record_history: bool = True,
+) -> SolveResult:
+    """Solve ``op x = b`` with GCR(restart)."""
+    if restart < 1:
+        raise ValueError(f"restart length must be >= 1, got {restart}")
+    t0 = time.perf_counter()
+    applies0 = op.n_applies
+
+    b_norm2 = norm2(b)
+    if b_norm2 == 0.0:
+        return SolveResult(
+            x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
+            history=[0.0], label="gcr",
+        )
+
+    if x0 is None:
+        x = np.zeros_like(b)
+        r = b.copy()
+    else:
+        x = x0.astype(b.dtype, copy=True)
+        r = b - op(x)
+
+    r2 = norm2(r)
+    target2 = (tol * tol) * b_norm2
+    history = [np.sqrt(r2 / b_norm2)] if record_history else []
+
+    it = 0
+    converged = r2 <= target2
+    while not converged and it < max_iter:
+        # One restart cycle.
+        p_list: list[np.ndarray] = []
+        ap_list: list[np.ndarray] = []
+        ap_norm2: list[float] = []
+        for _ in range(restart):
+            if converged or it >= max_iter:
+                break
+            p = r.copy()
+            ap = op(p)
+            # Orthogonalise A p against previous A p_i (modified Gram-Schmidt).
+            for pi, api, an2 in zip(p_list, ap_list, ap_norm2):
+                coef = np.vdot(api, ap) / an2
+                ap -= coef * api
+                p -= coef * pi
+            an2 = norm2(ap)
+            if an2 == 0.0:
+                break
+            alpha = np.vdot(ap, r) / an2
+            x += alpha * p
+            r -= alpha * ap
+            p_list.append(p)
+            ap_list.append(ap)
+            ap_norm2.append(an2)
+            r2 = norm2(r)
+            it += 1
+            if record_history:
+                history.append(float(np.sqrt(r2 / b_norm2)))
+            converged = r2 <= target2
+
+    applies = op.n_applies - applies0
+    return SolveResult(
+        x=x,
+        converged=bool(converged),
+        iterations=it,
+        residual=float(np.sqrt(r2 / b_norm2)),
+        history=history,
+        operator_applies=applies,
+        flops=applies * op.flops_per_apply,
+        wall_time=time.perf_counter() - t0,
+        label="gcr",
+    )

@@ -1,0 +1,113 @@
+"""Mixed-precision defect-correction CG — the paper's production solver.
+
+Outer loop (fp64): compute the true residual ``r = b - A x``; while it is
+above tolerance, solve the correction equation ``A d = r`` with an *inner*
+CG running entirely in fp32 (operator, fields, reductions), then update
+``x += d``.  The inner solver only needs to reduce its residual by a couple
+of orders of magnitude, far less than fp32's ~1e-7 limit, so each restart
+makes real progress; the fp64 outer loop removes the accumulated error.
+
+On memory-bandwidth-bound hardware the fp32 operator moves half the bytes
+and is up to ~2x faster; the scheme converges to full fp64 accuracy at a
+fraction of the fp64-only cost (Table E4 / Fig. E5).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dirac.operator import LinearOperator
+from repro.fields import norm
+from repro.solvers.base import SolveResult
+from repro.solvers.cg import cg
+
+__all__ = ["mixed_precision_cg"]
+
+
+def mixed_precision_cg(
+    op_outer: LinearOperator,
+    op_inner: LinearOperator,
+    b: np.ndarray,
+    tol: float = 1e-10,
+    inner_tol: float = 1e-3,
+    max_outer: int = 50,
+    max_inner: int = 1000,
+    record_history: bool = True,
+) -> SolveResult:
+    """Solve ``op_outer x = b`` using fp32 inner solves.
+
+    Parameters
+    ----------
+    op_outer:
+        Hermitian positive-definite operator in working (fp64) precision.
+    op_inner:
+        The same operator in reduced precision (typically
+        ``dirac.astype(np.complex64).normal_op()``).
+    tol:
+        Target relative true-residual in fp64.
+    inner_tol:
+        Relative residual reduction requested of each inner solve; ~1e-3
+        is far above the fp32 noise floor, so inner CG never stagnates.
+    """
+    if not 0 < inner_tol < 1:
+        raise ValueError(f"inner_tol must be in (0, 1), got {inner_tol}")
+    t0 = time.perf_counter()
+    inner_dtype = np.complex64 if b.dtype == np.complex128 else b.dtype
+
+    b_norm = norm(b)
+    if b_norm == 0.0:
+        return SolveResult(
+            x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
+            history=[0.0], label="mixed_cg",
+        )
+
+    x = np.zeros_like(b)
+    r = b.copy()
+    r_rel = 1.0
+    history = [r_rel] if record_history else []
+
+    outer = 0
+    inner_total = 0
+    applies = 0
+    flops = 0
+    converged = False
+    while outer < max_outer:
+        if r_rel <= tol:
+            converged = True
+            break
+        # Inner correction solve in reduced precision.
+        r32 = r.astype(inner_dtype)
+        inner_res = cg(
+            op_inner, r32, tol=inner_tol, max_iter=max_inner, record_history=False
+        )
+        inner_total += inner_res.iterations
+        applies += inner_res.operator_applies
+        flops += inner_res.flops
+        # Defect correction + true residual in full precision.
+        x += inner_res.x.astype(b.dtype)
+        r = b - op_outer(x)
+        applies += 1
+        flops += op_outer.flops_per_apply
+        r_rel = norm(r) / b_norm
+        outer += 1
+        if record_history:
+            history.append(float(r_rel))
+        # Stagnation guard: inner solve made no progress (e.g. fp32 floor).
+        if inner_res.iterations == 0:
+            break
+
+    converged = converged or r_rel <= tol
+    return SolveResult(
+        x=x,
+        converged=bool(converged),
+        iterations=outer,
+        residual=float(r_rel),
+        history=history,
+        operator_applies=applies,
+        flops=flops,
+        wall_time=time.perf_counter() - t0,
+        inner_iterations=inner_total,
+        label="mixed_cg",
+    )

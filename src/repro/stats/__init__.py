@@ -1,0 +1,29 @@
+"""Statistical analysis for Monte Carlo time series.
+
+Every number quoted from an ensemble needs an error bar and an
+autocorrelation check; this package provides the standard tooling:
+jackknife/bootstrap resampling, binning, and the Madras-Sokal automatic
+windowing estimate of the integrated autocorrelation time.
+"""
+
+from repro.stats.resampling import (
+    jackknife,
+    jackknife_samples,
+    bootstrap,
+    bin_series,
+)
+from repro.stats.autocorr import (
+    autocorrelation_function,
+    integrated_autocorrelation_time,
+    effective_sample_size,
+)
+
+__all__ = [
+    "jackknife",
+    "jackknife_samples",
+    "bootstrap",
+    "bin_series",
+    "autocorrelation_function",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+]

@@ -1,0 +1,57 @@
+"""Autocorrelation analysis of Monte Carlo chains (Madras-Sokal windowing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation_function",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+]
+
+
+def autocorrelation_function(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalised autocorrelation ``rho(t)`` for lags 0..max_lag.
+
+    FFT-based, unbiased-in-the-usual-sense normalisation by rho(0).
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"need a 1-D series, got shape {x.shape}")
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least 2 samples")
+    max_lag = min(max_lag if max_lag is not None else n // 2, n - 1)
+    x = x - np.mean(x)
+    # FFT autocorrelation with zero padding.
+    size = 2 ** int(np.ceil(np.log2(2 * n)))
+    f = np.fft.rfft(x, size)
+    acf = np.fft.irfft(f * np.conj(f))[: max_lag + 1]
+    if acf[0] == 0.0:
+        return np.ones(max_lag + 1)  # constant series: define rho = 1
+    return acf / acf[0]
+
+
+def integrated_autocorrelation_time(
+    series: np.ndarray, window_factor: float = 5.0
+) -> tuple[float, int]:
+    """(tau_int, window) by the Madras-Sokal self-consistent window.
+
+    ``tau_int = 1/2 + sum_{t=1}^{W} rho(t)`` with the smallest ``W`` such
+    that ``W >= window_factor * tau_int(W)``.  For an uncorrelated chain
+    tau_int = 0.5; binning/thinning decisions follow from 2 tau_int.
+    """
+    rho = autocorrelation_function(series)
+    tau = 0.5
+    for w in range(1, len(rho)):
+        tau = 0.5 + float(np.sum(rho[1 : w + 1]))
+        if w >= window_factor * tau:
+            return max(tau, 0.5), w
+    return max(tau, 0.5), len(rho) - 1
+
+
+def effective_sample_size(series: np.ndarray) -> float:
+    """``N_eff = N / (2 tau_int)`` — the error-bar-relevant sample count."""
+    tau, _ = integrated_autocorrelation_time(series)
+    return len(series) / (2.0 * tau)

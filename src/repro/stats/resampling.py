@@ -1,0 +1,85 @@
+"""Jackknife and bootstrap resampling.
+
+Works on "configuration-major" data: axis 0 indexes Monte Carlo samples,
+any further axes (e.g. the timeslices of a correlator) ride along, so a
+whole correlator is resampled in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["jackknife_samples", "jackknife", "bootstrap", "bin_series"]
+
+
+def jackknife_samples(data: np.ndarray) -> np.ndarray:
+    """The N leave-one-out means of ``data`` (axis 0 = configurations)."""
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 2:
+        raise ValueError(f"jackknife needs >= 2 samples, got {n}")
+    total = np.sum(data, axis=0)
+    return (total[None, ...] - data) / (n - 1)
+
+
+def jackknife(
+    data: np.ndarray, estimator: Callable[[np.ndarray], np.ndarray] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(estimate, error) of ``estimator(mean-like input)`` by jackknife.
+
+    ``estimator`` maps a sample mean (shape = data.shape[1:]) to any
+    (possibly nonlinear) derived quantity — e.g. an effective mass from a
+    correlator.  ``None`` means the identity (plain mean and its error).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    js = jackknife_samples(data)
+    if estimator is None:
+        theta_i = js
+        theta_full = np.mean(data, axis=0)
+    else:
+        theta_i = np.array([estimator(js[i]) for i in range(n)])
+        theta_full = estimator(np.mean(data, axis=0))
+    theta_bar = np.mean(theta_i, axis=0)
+    var = (n - 1) / n * np.sum((theta_i - theta_bar) ** 2, axis=0)
+    # Bias-corrected estimate: n theta_full - (n-1) theta_bar.
+    estimate = n * theta_full - (n - 1) * theta_bar
+    return estimate, np.sqrt(var)
+
+
+def bootstrap(
+    data: np.ndarray,
+    estimator: Callable[[np.ndarray], np.ndarray] | None = None,
+    n_boot: int = 500,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(estimate, error) by bootstrap over configurations."""
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 2:
+        raise ValueError(f"bootstrap needs >= 2 samples, got {n}")
+    rng = ensure_rng(rng)
+    est = estimator or (lambda x: x)
+    draws = np.array(
+        [est(np.mean(data[rng.integers(0, n, size=n)], axis=0)) for _ in range(n_boot)]
+    )
+    return est(np.mean(data, axis=0)), np.std(draws, axis=0, ddof=1)
+
+
+def bin_series(data: np.ndarray, bin_size: int) -> np.ndarray:
+    """Average consecutive samples into bins (autocorrelation reduction).
+
+    Trailing samples that do not fill a bin are dropped, as is standard.
+    """
+    if bin_size < 1:
+        raise ValueError(f"bin_size must be >= 1, got {bin_size}")
+    data = np.asarray(data, dtype=np.float64)
+    n_bins = data.shape[0] // bin_size
+    if n_bins == 0:
+        raise ValueError(f"series of length {data.shape[0]} has no full bin of {bin_size}")
+    trimmed = data[: n_bins * bin_size]
+    return trimmed.reshape((n_bins, bin_size) + data.shape[1:]).mean(axis=1)

@@ -1,0 +1,88 @@
+"""SU(2) subgroup machinery for the Cabibbo-Marinari heatbath.
+
+An SU(2) element is stored as four real Pauli coefficients
+``a = (a0, a1, a2, a3)`` with ``a0^2 + |a_vec|^2 = 1``, representing
+``a0 I + i a_k sigma_k``.  The three standard SU(2) subgroups of SU(3) act on
+index pairs (0,1), (0,2) and (1,2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.su3.matrix import identity
+
+__all__ = [
+    "su2_subgroups",
+    "su2_from_pauli",
+    "pauli_from_su2",
+    "extract_su2",
+    "embed_su2",
+]
+
+#: Index pairs of the three SU(2) subgroups of SU(3).
+SU2_INDEX_PAIRS = ((0, 1), (0, 2), (1, 2))
+
+
+def su2_subgroups() -> tuple[tuple[int, int], ...]:
+    """The (i, j) colour-index pairs of the three SU(2) subgroups."""
+    return SU2_INDEX_PAIRS
+
+
+def su2_from_pauli(a: np.ndarray) -> np.ndarray:
+    """Build 2x2 complex SU(2) matrices from Pauli coefficients (..., 4).
+
+    ``M = a0 I + i (a1 sigma1 + a2 sigma2 + a3 sigma3)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m = np.empty(a.shape[:-1] + (2, 2), dtype=np.complex128)
+    m[..., 0, 0] = a[..., 0] + 1j * a[..., 3]
+    m[..., 0, 1] = a[..., 2] + 1j * a[..., 1]
+    m[..., 1, 0] = -a[..., 2] + 1j * a[..., 1]
+    m[..., 1, 1] = a[..., 0] - 1j * a[..., 3]
+    return m
+
+
+def pauli_from_su2(m: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`su2_from_pauli` (..., 2, 2) -> (..., 4)."""
+    a = np.empty(m.shape[:-2] + (4,), dtype=np.float64)
+    a[..., 0] = 0.5 * np.real(m[..., 0, 0] + m[..., 1, 1])
+    a[..., 3] = 0.5 * np.imag(m[..., 0, 0] - m[..., 1, 1])
+    a[..., 2] = 0.5 * np.real(m[..., 0, 1] - m[..., 1, 0])
+    a[..., 1] = 0.5 * np.imag(m[..., 0, 1] + m[..., 1, 0])
+    return a
+
+
+def extract_su2(w: np.ndarray, pair: tuple[int, int]) -> np.ndarray:
+    """Extract the SU(2)-projected Pauli coefficients of a 2x2 sub-block.
+
+    For the heatbath one takes the staple sum ``W`` (not unitary), reads the
+    (i,j) sub-block and projects it onto the span of {I, i sigma_k}:
+    ``a0 = Re(w11 + w22)/2`` etc.  Returns *unnormalised* coefficients; the
+    caller divides by ``k = sqrt(det)`` as the heatbath weight.
+    """
+    i, j = pair
+    sub = np.empty(w.shape[:-2] + (2, 2), dtype=np.complex128)
+    sub[..., 0, 0] = w[..., i, i]
+    sub[..., 0, 1] = w[..., i, j]
+    sub[..., 1, 0] = w[..., j, i]
+    sub[..., 1, 1] = w[..., j, j]
+    return pauli_from_su2(sub)
+
+
+def embed_su2(a: np.ndarray, pair: tuple[int, int], shape: tuple[int, ...] = None) -> np.ndarray:
+    """Embed SU(2) Pauli coefficients into SU(3) at index ``pair``.
+
+    The result is an SU(3) matrix equal to the identity outside the 2x2
+    block.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    lead = a.shape[:-1] if shape is None else shape
+    out = identity(lead)
+    m = su2_from_pauli(a)
+    i, j = pair
+    out[..., i, i] = m[..., 0, 0]
+    out[..., i, j] = m[..., 0, 1]
+    out[..., j, i] = m[..., 1, 0]
+    out[..., j, j] = m[..., 1, 1]
+    return out

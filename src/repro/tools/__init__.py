@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+Each tool is runnable as ``python -m repro.tools.<name>`` and mirrors one
+stage of a production campaign:
+
+* ``generate_ensemble`` — heatbath/HMC gauge generation to an npz ensemble;
+* ``spectrum``          — hadron masses from a stored configuration;
+* ``scaling``           — the machine-model weak/strong scaling tables;
+* ``fix_gauge``         — Landau/Coulomb gauge fixing of a stored config.
+"""

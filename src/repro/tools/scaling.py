@@ -1,0 +1,53 @@
+"""Print the machine-model scaling study.
+
+Usage::
+
+    python -m repro.tools.scaling --machine bgq --local 8 8 8 8 \
+        --global-shape 96 48 48 48 --max-nodes-log2 16
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import e2_weak_scaling, e3_strong_scaling
+from repro.machine import BLUEGENE_Q, GENERIC_CLUSTER, roofline_report
+
+__all__ = ["main", "build_parser"]
+
+MACHINES = {"bgq": BLUEGENE_Q, "cluster": GENERIC_CLUSTER}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--machine", choices=sorted(MACHINES), default="bgq")
+    p.add_argument("--local", type=int, nargs=4, default=[8, 8, 8, 8])
+    p.add_argument("--global-shape", type=int, nargs=4, default=[96, 48, 48, 48])
+    p.add_argument("--max-nodes-log2", type=int, default=16)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = MACHINES[args.machine]
+    rep = roofline_report(spec)
+    print(f"machine: {spec.name}")
+    print(f"  Dslash AI fp64/fp32      : {rep['ai_fp64']:.3f} / {rep['ai_fp32']:.3f} F/B")
+    print(f"  attainable fp64/fp32     : {rep['attainable_fp64'] / 1e9:.1f} / "
+          f"{rep['attainable_fp32'] / 1e9:.1f} GF/s per node\n")
+
+    table, _ = e2_weak_scaling(
+        spec=spec, local_shape=tuple(args.local), max_nodes_log2=args.max_nodes_log2
+    )
+    print(table.render())
+    print()
+    table, _ = e3_strong_scaling(
+        spec=spec, global_shape=tuple(args.global_shape),
+        max_nodes_log2=args.max_nodes_log2,
+    )
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Measure the hadron spectrum on a stored configuration.
+
+Usage::
+
+    python -m repro.tools.spectrum --config ensemble/cfg_0000.npz \
+        --mass 0.35 --tol 1e-8
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.io import load_gauge
+from repro.measure import measure_spectrum
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--config", type=Path, required=True, help="cfg .npz file")
+    p.add_argument("--mass", type=float, required=True, help="valence quark mass")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--tmin", type=int, default=None)
+    p.add_argument("--tmax", type=int, default=None)
+    p.add_argument("--no-nucleon", action="store_true")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    gauge, meta = load_gauge(args.config)
+    print(f"configuration : {args.config} (metadata: {meta})")
+    window = None
+    if args.tmin is not None and args.tmax is not None:
+        window = (args.tmin, args.tmax)
+    res = measure_spectrum(
+        gauge,
+        args.mass,
+        tol=args.tol,
+        fit_window=window,
+        include_nucleon=not args.no_nucleon,
+    )
+    print(res.summary())
+    print("\ncorrelators (t, pion, rho):")
+    c_pi = res.correlators["pion"]
+    c_rho = res.correlators["rho"]
+    for t in range(len(c_pi)):
+        print(f"  {t:3d}  {c_pi[t]:.6e}  {c_rho[t]:.6e}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Paper-style ASCII tables and unit formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "format_si", "format_bytes"]
+
+_SI_PREFIXES = [(1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix: ``format_si(2.5e9, 'F/s') -> '2.50 GF/s'``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    a = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if a >= scale:
+            return f"{value / scale:.{digits - 1}f} {prefix}{unit}"
+    return f"{value:.{digits - 1}f} {unit}".strip()
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count using binary units."""
+    for scale, prefix in [(2**40, "Ti"), (2**30, "Gi"), (2**20, "Mi"), (2**10, "Ki")]:
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {prefix}B"
+    return f"{n:.0f} B"
+
+
+@dataclass
+class Table:
+    """Minimal fixed-width table, printed like the tables in the paper.
+
+    >>> t = Table("Demo", ["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Demo...
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(f"row has {len(row)} fields, expected {len(self.columns)}")
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        body = "\n".join(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+        )
+        parts = [self.title, "=" * len(self.title), header, sep]
+        if body:
+            parts.append(body)
+        return "\n".join(parts)
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, float):
+            if v != 0 and (abs(v) >= 1e5 or abs(v) < 1e-3):
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)

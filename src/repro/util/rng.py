@@ -1,0 +1,36 @@
+"""Deterministic random-number handling.
+
+The library never touches module-level numpy random state.  Functions that
+need randomness accept ``rng: None | int | numpy.random.Generator`` and call
+:func:`ensure_rng` exactly once at their entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalise an RNG argument to a :class:`numpy.random.Generator`.
+
+    ``None`` yields a freshly seeded generator (non-deterministic); an int is
+    used as a seed; a Generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: np.random.Generator | int | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used to give each virtual rank its own stream so that results are
+    independent of rank-iteration order.
+    """
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StopWatch"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StopWatch:
+    """Accumulating timer with named laps.
+
+    Hot loops call :meth:`start`/:meth:`stop` around distinct phases
+    (e.g. ``"dslash"``, ``"linalg"``, ``"halo"``) and report a breakdown.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    _open: dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> None:
+        t0 = self._open.pop(name)
+        self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - t0
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total time per phase."""
+        tot = self.total()
+        if tot == 0.0:
+            return {k: 0.0 for k in self.laps}
+        return {k: v / tot for k, v in self.laps.items()}

@@ -1,0 +1,35 @@
+"""Shared fixtures: small lattices and gauge backgrounds reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fields import GaugeField
+from repro.lattice import Lattice4D
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_lattice() -> Lattice4D:
+    """Asymmetric extents so axis-ordering bugs cannot cancel."""
+    return Lattice4D((8, 6, 4, 2))
+
+
+@pytest.fixture
+def tiny_lattice() -> Lattice4D:
+    return Lattice4D((4, 4, 4, 4))
+
+
+@pytest.fixture
+def hot_gauge(small_lattice) -> GaugeField:
+    return GaugeField.hot(small_lattice, rng=99)
+
+
+@pytest.fixture
+def cold_gauge(small_lattice) -> GaugeField:
+    return GaugeField.cold(small_lattice)

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Only the fast examples execute in the suite; the longer ones are covered
+by the benchmark drivers they share code with.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "converged" in out
+        assert "true residual" in out
+
+    def test_petascale_scaling_study(self, capsys):
+        out = _run("petascale_scaling_study.py", capsys)
+        assert "weak scaling" in out
+        assert "strong scaling" in out
+        assert "Roofline" in out
+
+    def test_rhmc_single_flavor(self, capsys):
+        out = _run("rhmc_single_flavor.py", capsys)
+        assert "rational approximation" in out
+        assert "acceptance" in out

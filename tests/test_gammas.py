@@ -1,0 +1,115 @@
+"""Gamma-matrix algebra tests: Clifford relations and the half-spinor trick."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gammas import (
+    GAMMA5,
+    GAMMAS,
+    NS,
+    apply_gamma,
+    apply_gamma5,
+    gamma,
+    gamma5,
+    sigma_munu,
+    spin_project,
+    spin_projector_matrix,
+    spin_reconstruct,
+)
+
+RNG = np.random.default_rng(77)
+
+
+class TestCliffordAlgebra:
+    def test_anticommutators(self):
+        # {gamma_mu, gamma_nu} = 2 delta_munu
+        for mu in range(4):
+            for nu in range(4):
+                anti = GAMMAS[mu] @ GAMMAS[nu] + GAMMAS[nu] @ GAMMAS[mu]
+                expected = 2.0 * np.eye(NS) if mu == nu else np.zeros((NS, NS))
+                assert np.allclose(anti, expected), (mu, nu)
+
+    def test_hermiticity(self):
+        for mu in range(4):
+            assert np.allclose(GAMMAS[mu], GAMMAS[mu].conj().T)
+        assert np.allclose(GAMMA5, GAMMA5.conj().T)
+
+    def test_gamma5_is_product_of_gammas(self):
+        # gamma5 = gx gy gz gt; our ordering is (T,Z,Y,X) = indices (0,1,2,3)
+        g5 = GAMMAS[3] @ GAMMAS[2] @ GAMMAS[1] @ GAMMAS[0]
+        assert np.allclose(g5, GAMMA5)
+
+    def test_gamma5_squares_to_one_and_anticommutes(self):
+        assert np.allclose(GAMMA5 @ GAMMA5, np.eye(NS))
+        for mu in range(4):
+            assert np.allclose(GAMMA5 @ GAMMAS[mu] + GAMMAS[mu] @ GAMMA5, 0.0)
+
+    def test_chiral_basis_gamma5_diagonal(self):
+        assert np.allclose(GAMMA5, np.diag([1, 1, -1, -1]))
+
+    def test_accessors_return_copies(self):
+        g = gamma(0)
+        g[0, 0] = 99.0
+        assert GAMMAS[0][0, 0] != 99.0
+        g5 = gamma5()
+        g5[0, 0] = 99.0
+        assert GAMMA5[0, 0] != 99.0
+
+    def test_sigma_munu_antisymmetric_hermitian(self):
+        for mu in range(4):
+            assert np.allclose(sigma_munu(mu, mu), 0.0)
+            for nu in range(4):
+                s = sigma_munu(mu, nu)
+                assert np.allclose(s, -sigma_munu(nu, mu))
+                assert np.allclose(s, s.conj().T)
+
+
+class TestApply:
+    def test_apply_gamma_matches_matrix(self):
+        psi = RNG.normal(size=(3, 2, 4, 3)) + 1j * RNG.normal(size=(3, 2, 4, 3))
+        for mu in range(4):
+            ref = np.einsum("st,...tc->...sc", GAMMAS[mu], psi)
+            assert np.allclose(apply_gamma(psi, mu), ref)
+
+    def test_apply_gamma5_matches_matrix(self):
+        psi = RNG.normal(size=(5, 4, 3)) + 1j * RNG.normal(size=(5, 4, 3))
+        ref = np.einsum("st,...tc->...sc", GAMMA5, psi)
+        assert np.allclose(apply_gamma5(psi), ref)
+
+    def test_apply_gamma5_involution(self):
+        psi = RNG.normal(size=(5, 4, 3)) + 1j * RNG.normal(size=(5, 4, 3))
+        assert np.allclose(apply_gamma5(apply_gamma5(psi)), psi)
+
+
+class TestHalfSpinorTrick:
+    @pytest.mark.parametrize("mu", range(4))
+    @pytest.mark.parametrize("s", [+1, -1])
+    def test_project_reconstruct_equals_full_projector(self, mu, s):
+        psi = RNG.normal(size=(6, 4, 3)) + 1j * RNG.normal(size=(6, 4, 3))
+        full = np.einsum("st,...tc->...sc", spin_projector_matrix(mu, s), psi)
+        fast = spin_reconstruct(spin_project(psi, mu, s), mu, s)
+        assert np.allclose(fast, full, atol=1e-13)
+
+    @pytest.mark.parametrize("mu", range(4))
+    def test_projector_rank_two(self, mu):
+        # (1 +- gamma_mu)/2 are rank-2 projectors: P^2 = P, tr P = 2.
+        for s in (+1, -1):
+            p = 0.5 * spin_projector_matrix(mu, s)
+            assert np.allclose(p @ p, p)
+            assert np.trace(p).real == pytest.approx(2.0)
+
+    def test_half_spinor_shape(self):
+        psi = RNG.normal(size=(2, 3, 4, 3)) + 1j * RNG.normal(size=(2, 3, 4, 3))
+        h = spin_project(psi, 0, +1)
+        assert h.shape == (2, 3, 2, 3)
+        full = spin_reconstruct(h, 0, +1)
+        assert full.shape == psi.shape
+
+    def test_opposite_projectors_sum_to_identity(self):
+        psi = RNG.normal(size=(4, 4, 3)) + 1j * RNG.normal(size=(4, 4, 3))
+        for mu in range(4):
+            plus = spin_reconstruct(spin_project(psi, mu, +1), mu, +1)
+            minus = spin_reconstruct(spin_project(psi, mu, -1), mu, -1)
+            assert np.allclose(0.5 * (plus + minus), psi, atol=1e-13)

@@ -1,0 +1,98 @@
+"""Gauge-fixing tests: functional ascent, gauge condition, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import su3
+from repro.fields import GaugeField
+from repro.gaugefix import (
+    gauge_condition_violation,
+    gauge_fix,
+    gauge_functional,
+)
+from repro.lattice import Lattice4D, shift
+from repro.loops import average_plaquette
+
+
+@pytest.fixture
+def rough():
+    return GaugeField.warm(Lattice4D((4, 4, 4, 4)), eps=0.5, rng=1001)
+
+
+class TestFunctionalAndCondition:
+    def test_cold_field_is_fixed_point(self, tiny_lattice):
+        cold = GaugeField.cold(tiny_lattice)
+        assert gauge_functional(cold) == pytest.approx(1.0)
+        assert gauge_condition_violation(cold) == pytest.approx(0.0, abs=1e-14)
+
+    def test_mode_validated(self, tiny_lattice):
+        cold = GaugeField.cold(tiny_lattice)
+        with pytest.raises(ValueError):
+            gauge_functional(cold, mode="axial")
+        with pytest.raises(ValueError):
+            gauge_fix(cold, overrelax=2.5)
+
+    def test_random_gauge_transform_of_cold_is_pure_gauge(self, tiny_lattice):
+        """A gauge transform of the free field must fix back to F = 1."""
+        cold = GaugeField.cold(tiny_lattice)
+        g = su3.random_su3(tiny_lattice.shape, rng=5)
+        for mu in range(4):
+            cold.u[mu] = su3.mul(su3.mul(g, cold.u[mu]), su3.dag(shift(g, mu, 1)))
+        assert gauge_functional(cold) < 0.99  # scrambled
+        fixed, res = gauge_fix(cold, tol=1e-12, max_iter=500)
+        assert res.converged
+        assert res.functional == pytest.approx(1.0, abs=1e-6)
+
+
+class TestLandau:
+    def test_functional_increases_monotonically(self, rough):
+        _, res = gauge_fix(rough, tol=1e-9, max_iter=300)
+        h = res.functional_history
+        assert all(b >= a - 1e-12 for a, b in zip(h, h[1:]))
+        assert h[-1] > h[0]
+
+    def test_gauge_condition_satisfied(self, rough):
+        fixed, res = gauge_fix(rough, tol=1e-9, max_iter=500)
+        assert res.converged
+        assert gauge_condition_violation(fixed) < 1e-9
+
+    def test_plaquette_invariant(self, rough):
+        before = average_plaquette(rough.u)
+        fixed, _ = gauge_fix(rough, tol=1e-8, max_iter=300)
+        assert average_plaquette(fixed.u) == pytest.approx(before, abs=1e-10)
+
+    def test_links_stay_on_group(self, rough):
+        fixed, _ = gauge_fix(rough, tol=1e-8, max_iter=300)
+        assert fixed.unitarity_violation() < 1e-9
+
+    def test_input_untouched(self, rough):
+        u0 = rough.u.copy()
+        gauge_fix(rough, tol=1e-6, max_iter=50)
+        assert np.array_equal(rough.u, u0)
+
+    def test_overrelaxation_converges_too(self, rough):
+        """OR pays off only at long wavelengths (large volumes); on a 4^4
+        block it must simply converge to the same maximum."""
+        _, plain = gauge_fix(rough, tol=1e-8, max_iter=2000, overrelax=1.0)
+        _, accel = gauge_fix(rough, tol=1e-8, max_iter=2000, overrelax=1.7)
+        assert plain.converged and accel.converged
+        assert accel.functional == pytest.approx(plain.functional, abs=1e-6)
+
+
+class TestCoulomb:
+    def test_coulomb_fixes_spatial_condition(self, rough):
+        fixed, res = gauge_fix(rough, mode="coulomb", tol=1e-9, max_iter=500)
+        assert res.converged
+        assert gauge_condition_violation(fixed, mode="coulomb") < 1e-9
+
+    def test_coulomb_leaves_landau_unfixed(self, rough):
+        fixed, _ = gauge_fix(rough, mode="coulomb", tol=1e-9, max_iter=500)
+        # Landau condition includes the time direction: generally violated.
+        assert gauge_condition_violation(fixed, mode="landau") > 1e-6
+
+    def test_plaquette_invariant(self, rough):
+        before = average_plaquette(rough.u)
+        fixed, _ = gauge_fix(rough, mode="coulomb", tol=1e-8, max_iter=300)
+        assert average_plaquette(fixed.u) == pytest.approx(before, abs=1e-10)

@@ -1,0 +1,295 @@
+"""HMC tests: forces vs numerical gradients, reversibility, dH scaling,
+exactness, and heatbath physics (strong-coupling plaquette)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import su3
+from repro.fields import GaugeField, random_fermion
+from repro.hmc import (
+    HMC,
+    TwoFlavorWilsonAction,
+    WilsonGaugeAction,
+    heatbath_sweep,
+    kinetic_energy,
+    leapfrog,
+    omelyan,
+    overrelaxation_sweep,
+    sample_momenta,
+    su2_heatbath_pauli,
+)
+from repro.lattice import Lattice4D
+from repro.loops import average_plaquette
+
+RNG = np.random.default_rng(9001)
+
+
+def _numerical_action_gradient(action, gauge, mu, site, a, eps=1e-5):
+    """Central difference of S under U -> exp(theta i T_a) U at one link."""
+    lam = su3.gellmann_matrices()[a]
+    x = 0.5j * lam  # i T_a
+    up = gauge.copy()
+    dn = gauge.copy()
+    up.u[(mu,) + site] = su3.expm_su3(eps * x) @ up.u[(mu,) + site]
+    dn.u[(mu,) + site] = su3.expm_su3(-eps * x) @ dn.u[(mu,) + site]
+    return (action.action(up) - action.action(dn)) / (2 * eps)
+
+
+class TestMomenta:
+    def test_momenta_in_algebra(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        pi = sample_momenta(g, rng=1)
+        assert pi.shape == (4,) + tiny_lattice.shape + (3, 3)
+        assert np.allclose(su3.project_algebra(pi), pi, atol=1e-13)
+
+    def test_kinetic_energy_expectation(self):
+        """<K> = 4 per link (8 Gaussian coefficients, K = sum c^2 / 2)."""
+        lat = Lattice4D((4, 4, 4, 4))
+        g = GaugeField.cold(lat)
+        pi = sample_momenta(g, rng=2)
+        n_links = 4 * lat.volume
+        assert kinetic_energy(pi) / n_links == pytest.approx(4.0, rel=0.1)
+
+
+class TestGaugeForce:
+    def test_force_in_algebra(self, tiny_lattice):
+        g = GaugeField.hot(tiny_lattice, rng=3)
+        f = WilsonGaugeAction(beta=5.5).force(g)
+        assert np.allclose(su3.project_algebra(f), f, atol=1e-12)
+
+    def test_force_matches_numerical_gradient(self):
+        """The decisive sign/normalisation check: F coefficients equal
+        dS/dtheta_a by central differences, at several links/generators."""
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=4)
+        action = WilsonGaugeAction(beta=5.5)
+        f = action.force(gauge)
+        for mu, site, a in [
+            (0, (0, 0, 0, 0), 0),
+            (1, (1, 0, 1, 0), 3),
+            (3, (0, 1, 1, 1), 7),
+            (2, (1, 1, 0, 0), 5),
+        ]:
+            coeffs = su3.algebra_to_coeffs(f[(mu,) + site])
+            num = _numerical_action_gradient(action, gauge, mu, site, a)
+            assert coeffs[a] == pytest.approx(num, rel=1e-5, abs=1e-8), (mu, site, a)
+
+    def test_cold_force_vanishes(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        assert np.allclose(WilsonGaugeAction(beta=6.0).force(g), 0.0, atol=1e-13)
+
+    def test_action_positive_and_zero_when_cold(self, tiny_lattice):
+        act = WilsonGaugeAction(beta=6.0)
+        assert act.action(GaugeField.cold(tiny_lattice)) == pytest.approx(0.0, abs=1e-9)
+        assert act.action(GaugeField.hot(tiny_lattice, rng=5)) > 0.0
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            WilsonGaugeAction(beta=0.0)
+
+
+class TestIntegrators:
+    def _setup(self, seed=6):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=seed)
+        action = WilsonGaugeAction(beta=5.5)
+        pi = sample_momenta(gauge, rng=seed + 1)
+        return gauge, pi, action
+
+    def test_leapfrog_reversibility(self):
+        gauge, pi, action = self._setup()
+        u0 = gauge.u.copy()
+        leapfrog(gauge, pi, action, eps=0.05, n_steps=10)
+        pi *= -1.0
+        leapfrog(gauge, pi, action, eps=0.05, n_steps=10)
+        assert np.allclose(gauge.u, u0, atol=1e-10)
+
+    def test_omelyan_reversibility(self):
+        gauge, pi, action = self._setup(seed=8)
+        u0 = gauge.u.copy()
+        omelyan(gauge, pi, action, eps=0.05, n_steps=10)
+        pi *= -1.0
+        omelyan(gauge, pi, action, eps=0.05, n_steps=10)
+        assert np.allclose(gauge.u, u0, atol=1e-10)
+
+    def _dh(self, integrator, eps, n_steps, seed=10):
+        gauge, pi, action = self._setup(seed=seed)
+        h0 = kinetic_energy(pi) + action.action(gauge)
+        integrator(gauge, pi, action, eps, n_steps)
+        return abs(kinetic_energy(pi) + action.action(gauge) - h0)
+
+    def test_leapfrog_dh_second_order(self):
+        """Fixed trajectory length: dH ~ eps^2, so halving eps gives ~4x."""
+        dh1 = self._dh(leapfrog, 0.08, 10)
+        dh2 = self._dh(leapfrog, 0.04, 20)
+        ratio = dh1 / dh2
+        assert 2.5 < ratio < 6.5, ratio
+
+    def test_omelyan_beats_leapfrog_at_equal_eps(self):
+        assert self._dh(omelyan, 0.08, 10) < self._dh(leapfrog, 0.08, 10)
+
+    def test_links_stay_on_group(self):
+        gauge, pi, action = self._setup(seed=12)
+        leapfrog(gauge, pi, action, eps=0.1, n_steps=20)
+        assert gauge.unitarity_violation() < 1e-10
+
+    def test_step_validation(self):
+        gauge, pi, action = self._setup(seed=13)
+        with pytest.raises(ValueError):
+            leapfrog(gauge, pi, action, 0.1, 0)
+        with pytest.raises(ValueError):
+            omelyan(gauge, pi, action, 0.1, 0)
+
+
+class TestHMCDriver:
+    def test_high_acceptance_small_step(self):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=14)
+        hmc = HMC(WilsonGaugeAction(beta=5.5), step_size=0.02, n_steps=10, rng=15)
+        results = hmc.run(gauge, 10)
+        assert hmc.acceptance_rate >= 0.8
+        assert all(abs(r.delta_h) < 1.0 for r in results)
+
+    def test_rejection_restores_configuration(self):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=16)
+        # Grossly too-large step: essentially always rejected.
+        hmc = HMC(WilsonGaugeAction(beta=5.5), step_size=2.0, n_steps=10, rng=17)
+        u0 = gauge.u.copy()
+        r = hmc.trajectory(gauge)
+        if not r.accepted:
+            assert np.array_equal(gauge.u, u0)
+
+    def test_thermalises_from_cold(self):
+        """At beta = 5.5 the equilibrium plaquette is well below 1; HMC from
+        a cold start must move towards it."""
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.cold(lat)
+        hmc = HMC(WilsonGaugeAction(beta=5.5), step_size=0.08, n_steps=8, rng=18)
+        hmc.run(gauge, 20)
+        assert average_plaquette(gauge.u) < 0.99
+
+    def test_invalid_integrator(self):
+        with pytest.raises(ValueError):
+            HMC(WilsonGaugeAction(5.5), integrator="rk4")
+
+    def test_omelyan_integrator_runs(self):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=19)
+        hmc = HMC(WilsonGaugeAction(5.5), step_size=0.05, n_steps=5,
+                  integrator="omelyan", rng=20)
+        r = hmc.trajectory(gauge)
+        assert np.isfinite(r.delta_h)
+        assert 0.0 <= r.plaquette <= 1.0
+
+
+class TestPseudofermion:
+    def _setup(self, mass=1.0, seed=21):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.warm(lat, eps=0.2, rng=seed)
+        pf = TwoFlavorWilsonAction(mass=mass, solver_tol=1e-12)
+        pf.refresh(gauge, rng=seed + 1)
+        return gauge, pf
+
+    def test_refresh_action_equals_eta_norm(self):
+        """At refresh, S_pf = |eta|^2; verify through the solve."""
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.warm(lat, eps=0.2, rng=22)
+        pf = TwoFlavorWilsonAction(mass=1.0, solver_tol=1e-13)
+        rng = np.random.default_rng(23)
+        # Reproduce the internal draw to know eta.
+        rng_copy = np.random.default_rng(23)
+        eta = random_fermion(gauge.lattice, rng=rng_copy)
+        pf.refresh(gauge, rng=rng)
+        from repro.fields import norm2
+
+        assert pf.action(gauge) == pytest.approx(norm2(eta), rel=1e-8)
+
+    def test_force_matches_numerical_gradient(self):
+        """Validates the whole C1/C2 outer-product construction."""
+        gauge, pf = self._setup()
+        f = pf.force(gauge)
+        for mu, site, a in [(0, (0, 0, 0, 0), 1), (2, (1, 1, 0, 1), 6)]:
+            coeffs = su3.algebra_to_coeffs(f[(mu,) + site])
+            num = _numerical_action_gradient(pf, gauge, mu, site, a, eps=1e-4)
+            assert coeffs[a] == pytest.approx(num, rel=1e-3, abs=1e-7), (mu, site, a)
+
+    def test_force_in_algebra(self):
+        gauge, pf = self._setup()
+        f = pf.force(gauge)
+        assert np.allclose(su3.project_algebra(f), f, atol=1e-12)
+
+    def test_requires_refresh(self):
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.cold(lat)
+        pf = TwoFlavorWilsonAction(mass=1.0)
+        with pytest.raises(RuntimeError):
+            pf.action(gauge)
+
+    def test_dynamical_hmc_trajectory_conserves(self):
+        """Gauge + 2-flavour action: dH stays small at modest step size."""
+        lat = Lattice4D((2, 2, 2, 2))
+        gauge = GaugeField.warm(lat, eps=0.2, rng=24)
+        hmc = HMC(
+            [WilsonGaugeAction(beta=5.5), TwoFlavorWilsonAction(mass=1.0, solver_tol=1e-11)],
+            step_size=0.02,
+            n_steps=5,
+            rng=25,
+        )
+        r = hmc.trajectory(gauge)
+        assert abs(r.delta_h) < 0.5
+
+
+class TestHeatbath:
+    def test_su2_heatbath_distribution_mean(self):
+        """For weight ~ sqrt(1-w0^2) e^{a w0}, <w0> is known via Bessel
+        functions; at a = 4: <w0> = I_2(4)/I_1(4)."""
+        from scipy.special import iv
+
+        a = 4.0
+        draws = su2_heatbath_pauli(np.full(20000, a), np.random.default_rng(26))
+        w0 = draws[..., 0]
+        expected = iv(2, a) / iv(1, a)
+        assert np.mean(w0) == pytest.approx(expected, abs=0.02)
+        # Unit quaternions.
+        assert np.allclose(np.linalg.norm(draws, axis=-1), 1.0, atol=1e-12)
+
+    def test_heatbath_preserves_group(self):
+        lat = Lattice4D((4, 4, 4, 4))
+        gauge = GaugeField.hot(lat, rng=27)
+        heatbath_sweep(gauge, beta=5.5, rng=28)
+        assert gauge.unitarity_violation() < 1e-9
+
+    def test_strong_coupling_plaquette(self):
+        """<(1/3) Re tr P> = beta/18 + O(beta^3) at strong coupling."""
+        lat = Lattice4D((4, 4, 4, 4))
+        gauge = GaugeField.hot(lat, rng=29)
+        beta = 1.0
+        rng = np.random.default_rng(30)
+        for _ in range(20):
+            heatbath_sweep(gauge, beta, rng)
+        plaqs = []
+        for _ in range(30):
+            heatbath_sweep(gauge, beta, rng)
+            plaqs.append(average_plaquette(gauge.u))
+        assert np.mean(plaqs) == pytest.approx(beta / 18.0, abs=0.012)
+
+    def test_overrelaxation_preserves_action(self):
+        lat = Lattice4D((4, 4, 4, 4))
+        gauge = GaugeField.hot(lat, rng=31)
+        for _ in range(5):
+            heatbath_sweep(gauge, beta=2.0, rng=32)
+        s_before = WilsonGaugeAction(2.0).action(gauge)
+        overrelaxation_sweep(gauge, beta=2.0, rng=33)
+        s_after = WilsonGaugeAction(2.0).action(gauge)
+        assert s_after == pytest.approx(s_before, rel=1e-10)
+        assert gauge.unitarity_violation() < 1e-9
+
+    def test_overrelaxation_moves_links(self):
+        lat = Lattice4D((4, 4, 4, 4))
+        gauge = GaugeField.hot(lat, rng=34)
+        u0 = gauge.u.copy()
+        overrelaxation_sweep(gauge, beta=2.0, rng=35)
+        assert not np.allclose(gauge.u, u0)

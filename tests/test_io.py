@@ -1,0 +1,55 @@
+"""Configuration I/O round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fields import GaugeField
+from repro.io import load_ensemble, load_gauge, save_ensemble, save_gauge
+from repro.lattice import Lattice4D
+
+
+class TestConfigIO:
+    def test_roundtrip_preserves_links_and_metadata(self, tmp_path, tiny_lattice):
+        g = GaugeField.hot(tiny_lattice, rng=1)
+        path = tmp_path / "cfg.npz"
+        save_gauge(path, g, beta=5.7, trajectory=42)
+        loaded, meta = load_gauge(path)
+        assert np.array_equal(loaded.u, g.u)
+        assert loaded.lattice == tiny_lattice
+        assert meta == {"beta": 5.7, "trajectory": 42}
+
+    def test_load_accepts_missing_extension(self, tmp_path, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        save_gauge(tmp_path / "cfg.npz", g)
+        loaded, _ = load_gauge(tmp_path / "cfg")
+        assert np.array_equal(loaded.u, g.u)
+
+    def test_corrupt_shape_rejected(self, tmp_path, tiny_lattice):
+        import json
+
+        bad_meta = json.dumps({"shape": [8, 8, 8, 8]})
+        np.savez_compressed(
+            tmp_path / "bad.npz",
+            u=np.zeros((4, 2, 2, 2, 2, 3, 3), dtype=complex),
+            meta=bad_meta,
+        )
+        with pytest.raises(ValueError):
+            load_gauge(tmp_path / "bad.npz")
+
+    def test_ensemble_roundtrip_ordered(self, tmp_path, tiny_lattice):
+        configs = [GaugeField.hot(tiny_lattice, rng=i) for i in range(3)]
+        paths = save_ensemble(tmp_path / "ens", configs, beta=6.0)
+        assert len(paths) == 3
+        loaded = load_ensemble(tmp_path / "ens")
+        assert len(loaded) == 3
+        for i, (g, meta) in enumerate(loaded):
+            assert np.array_equal(g.u, configs[i].u)
+            assert meta["index"] == i
+            assert meta["beta"] == 6.0
+
+    def test_empty_ensemble_dir(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_ensemble(tmp_path / "empty")

@@ -1,0 +1,220 @@
+"""Machine-model tests: analytic limits, monotonicity, and calibration."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import Lattice4D
+from repro.machine import (
+    BLUEGENE_Q,
+    DslashModel,
+    GENERIC_CLUSTER,
+    MachineSpec,
+    SolverIterationModel,
+    attainable_flops,
+    balanced_rank_grid,
+    calibrate_python_node,
+    dslash_arithmetic_intensity,
+    dslash_bytes_per_site,
+    measured_dslash_rate,
+    roofline_report,
+    scaling_study,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
+
+
+class TestSpec:
+    def test_presets_valid(self):
+        assert BLUEGENE_Q.sustained_flops < BLUEGENE_Q.peak_flops
+        assert GENERIC_CLUSTER.peak_flops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", 1e9, 1.5, 1e9, 1e9, 1, 1e-6, 0, 4, 16)
+        with pytest.raises(ValueError):
+            MachineSpec("x", -1e9, 0.5, 1e9, 1e9, 1, 1e-6, 0, 4, 16)
+        with pytest.raises(ValueError):
+            MachineSpec("x", 1e9, 0.5, 1e9, 1e9, 1, 1e-6, 0, 4, 16, overlap_fraction=2.0)
+
+    def test_with_overlap_clones(self):
+        s = BLUEGENE_Q.with_overlap(0.0)
+        assert s.overlap_fraction == 0.0
+        assert BLUEGENE_Q.overlap_fraction == 0.8  # original untouched
+
+
+class TestRoofline:
+    def test_bytes_per_site_fp64(self):
+        # 8*9*16 + 8*12*16 + 12*16 = 1152 + 1536 + 192 = 2880 bytes.
+        assert dslash_bytes_per_site(8) == 2880
+
+    def test_fp32_halves_traffic(self):
+        assert dslash_bytes_per_site(4) == dslash_bytes_per_site(8) / 2
+
+    def test_arithmetic_intensity_low(self):
+        # The famous result: Wilson Dslash is < 1 flop/byte in fp64.
+        ai = dslash_arithmetic_intensity(8)
+        assert 0.2 < ai < 1.0
+
+    def test_dslash_is_bandwidth_bound_on_bgq(self):
+        assert attainable_flops(BLUEGENE_Q, 8) < BLUEGENE_Q.sustained_flops
+
+    def test_gauge_reuse_raises_ai(self):
+        assert dslash_arithmetic_intensity(8, gauge_reuse=2.0) > dslash_arithmetic_intensity(8)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            dslash_bytes_per_site(16)
+
+    def test_report_fp32_speedup_near_two(self):
+        rep = roofline_report(BLUEGENE_Q)
+        assert 1.5 <= rep["fp32_speedup"] <= 2.0
+
+
+class TestDslashModel:
+    def _model(self, local=(8, 8, 8, 8), **kw):
+        args = dict(spec=BLUEGENE_Q, local_shape=local)
+        args.update(kw)
+        return DslashModel(**args)
+
+    def test_compute_time_positive_scales_with_volume(self):
+        small = self._model((4, 4, 4, 4)).compute_time()
+        large = self._model((8, 8, 8, 8)).compute_time()
+        assert large == pytest.approx(16 * small)
+
+    def test_comm_time_zero_when_not_decomposed(self):
+        m = self._model(decomposed_axes=())
+        assert m.comm_time() == 0.0
+        assert m.comm_fraction() == 0.0
+
+    def test_face_bytes(self):
+        m = self._model((8, 8, 8, 8))
+        # 8^3 face sites * 6 complex * 16 bytes.
+        assert m.face_bytes(0) == 512 * 6 * 16
+
+    def test_overlap_reduces_time(self):
+        m_none = DslashModel(BLUEGENE_Q.with_overlap(0.0), (4, 4, 4, 4))
+        m_full = DslashModel(BLUEGENE_Q.with_overlap(1.0), (4, 4, 4, 4))
+        assert m_full.time() < m_none.time()
+
+    def test_comm_fraction_rises_as_local_volume_shrinks(self):
+        """Surface-to-volume: the central fact of the strong-scaling story."""
+        fracs = [
+            self._model((n, n, n, n)).comm_fraction() for n in (16, 8, 4, 2)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] > fracs[0]
+
+    def test_fp32_faster_than_fp64(self):
+        t64 = self._model(precision_bytes=8).time()
+        t32 = self._model(precision_bytes=4).time()
+        assert t32 < t64
+
+    def test_flops_rate_consistent(self):
+        m = self._model()
+        assert m.flops_rate() == pytest.approx(
+            WILSON_DSLASH_FLOPS_PER_SITE * m.local_volume / m.time()
+        )
+
+
+class TestSolverIterationModel:
+    def test_breakdown_sums_to_total(self):
+        d = DslashModel(BLUEGENE_Q, (8, 8, 8, 8))
+        it = SolverIterationModel(d, nnodes=1024)
+        assert sum(it.breakdown().values()) == pytest.approx(it.time())
+
+    def test_allreduce_grows_with_nodes(self):
+        d = DslashModel(BLUEGENE_Q, (4, 4, 4, 4))
+        t1 = SolverIterationModel(d, nnodes=2).allreduce_time()
+        t2 = SolverIterationModel(d, nnodes=2**16).allreduce_time()
+        assert t2 > t1
+        assert SolverIterationModel(d, nnodes=1).allreduce_time() == 0.0
+
+
+class TestBalancedGrid:
+    def test_divides_evenly(self):
+        grid = balanced_rank_grid((96, 48, 48, 48), 1024)
+        assert grid.nranks == 1024
+        for g, d in zip((96, 48, 48, 48), grid.dims):
+            assert g % d == 0
+
+    def test_prefers_large_axes(self):
+        grid = balanced_rank_grid((32, 4, 4, 4), 8)
+        assert grid.dims[0] >= 4  # T is by far the largest axis
+
+    def test_single_rank(self):
+        assert balanced_rank_grid((8, 8, 8, 8), 1).dims == (1, 1, 1, 1)
+
+    def test_impossible_decomposition(self):
+        with pytest.raises(ValueError):
+            balanced_rank_grid((4, 4, 4, 4), 5)  # 5 divides nothing
+        with pytest.raises(ValueError):
+            balanced_rank_grid((8, 8, 8, 8), 0)
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 64, 256, 1024, 4096]))
+    @settings(max_examples=10, deadline=None)
+    def test_property_rank_count_preserved(self, n):
+        grid = balanced_rank_grid((96, 96, 96, 96), n)
+        assert grid.nranks == n
+
+
+class TestScalingStudies:
+    def test_weak_scaling_efficiency_bounded(self):
+        pts = weak_scaling(BLUEGENE_Q, (8, 8, 8, 8), [1, 4, 64, 1024])
+        assert pts[0].efficiency == pytest.approx(1.0)
+        for p in pts:
+            assert 0.0 < p.efficiency <= 1.0 + 1e-9
+
+    def test_weak_scaling_aggregate_grows_linearly_ish(self):
+        pts = weak_scaling(BLUEGENE_Q, (8, 8, 8, 8), [1, 1024])
+        ratio = pts[1].aggregate_flops / pts[0].aggregate_flops
+        assert ratio > 512  # > 50% parallel efficiency at 1024 nodes
+
+    def test_strong_scaling_time_decreases_then_saturates(self):
+        pts = strong_scaling(BLUEGENE_Q, (96, 48, 48, 48), [1, 64, 4096])
+        assert pts[1].time_dslash < pts[0].time_dslash
+        # Efficiency decays with node count.
+        assert pts[-1].efficiency <= pts[1].efficiency + 1e-9
+
+    def test_strong_scaling_comm_fraction_rises(self):
+        pts = strong_scaling(BLUEGENE_Q, (96, 48, 48, 48), [1, 64, 4096])
+        fracs = [p.comm_fraction for p in pts]
+        assert fracs[-1] >= fracs[0]
+
+    def test_scaling_study_bundle(self):
+        study = scaling_study(BLUEGENE_Q, max_nodes_log2=6)
+        assert set(study) == {"weak", "strong"}
+        assert len(study["weak"]) >= 3
+        assert all(p.nodes >= 1 for p in study["strong"])
+
+    def test_rows_match_columns(self):
+        pts = weak_scaling(BLUEGENE_Q, (4, 4, 4, 4), [1, 4])
+        from repro.machine import ScalingPoint
+
+        assert len(pts[0].row()) == len(ScalingPoint.columns())
+
+
+class TestCalibration:
+    def test_measured_rate_positive(self):
+        lat = Lattice4D((4, 4, 4, 4))
+        sites, flops = measured_dslash_rate(lat, repeats=1)
+        assert sites > 0
+        assert flops == pytest.approx(sites * WILSON_DSLASH_FLOPS_PER_SITE)
+
+    def test_calibrated_spec_predicts_measurement(self):
+        """The model, fed the calibrated spec, reproduces the measured
+        Dslash time on a different volume within 3x (numpy rates drift with
+        volume; the model is order-of-magnitude by design here)."""
+        lat_cal = Lattice4D((6, 6, 6, 6))
+        spec = calibrate_python_node(lat_cal, repeats=2)
+        lat_test = Lattice4D((8, 4, 4, 4))
+        sites, _ = measured_dslash_rate(lat_test, repeats=2)
+        measured_time = lat_test.volume / sites
+        model = DslashModel(spec, lat_test.shape, decomposed_axes=())
+        assert model.time() == pytest.approx(measured_time, rel=2.0)

@@ -1,0 +1,261 @@
+"""Measurement tests: observables, propagators, correlators and fits.
+
+The free-field (cold gauge) cases have exact expectations: the quark pole
+mass is ``E = log(1 + m)`` at zero momentum, so the pion effective mass
+plateaus at ``2 log(1 + m)`` and the nucleon near ``3 log(1 + m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonDirac
+from repro.fields import GaugeField
+from repro.gammas import GAMMA5, GAMMAS
+from repro.lattice import Lattice4D
+from repro.measure import (
+    average_plaquette,
+    charge_conjugation_matrix,
+    cosh_effective_mass,
+    effective_mass,
+    fit_cosh,
+    fit_exp,
+    gauge_observables,
+    gmor_scan,
+    measure_spectrum,
+    meson_correlator,
+    nucleon_correlator,
+    pion_correlator,
+    point_propagator,
+    polyakov_loop,
+    propagator_norm_check,
+    rho_correlator,
+    wilson_loop,
+)
+
+FREE_LAT = Lattice4D((16, 4, 4, 4))
+FREE_MASS = 0.5
+
+
+@pytest.fixture(scope="module")
+def free_prop():
+    """Free-field propagator, shared by the correlator tests (12 solves)."""
+    gauge = GaugeField.cold(FREE_LAT)
+    dirac = WilsonDirac(gauge, FREE_MASS)
+    return point_propagator(dirac, tol=1e-10)
+
+
+class TestObservables:
+    def test_cold_observables(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        obs = gauge_observables(g)
+        assert obs["plaquette"] == pytest.approx(1.0)
+        assert obs["polyakov_abs"] == pytest.approx(1.0)
+        assert polyakov_loop(g) == pytest.approx(1.0)
+
+    def test_hot_polyakov_small(self):
+        lat = Lattice4D((4, 6, 6, 6))
+        g = GaugeField.hot(lat, rng=1)
+        assert abs(polyakov_loop(g)) < 0.2
+
+    def test_wilson_loop_cold(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        assert wilson_loop(g, 2, 2) == pytest.approx(1.0)
+
+    def test_wilson_loop_1x1_is_plaquette(self, hot_gauge):
+        w11 = wilson_loop(hot_gauge, 1, 1, mu=3, nu=0)
+        from repro.loops import plaquette_field
+        from repro import su3
+
+        direct = float(np.mean(su3.re_trace(plaquette_field(hot_gauge.u, 3, 0)))) / 3.0
+        assert w11 == pytest.approx(direct, rel=1e-12)
+
+    def test_wilson_loop_validates(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        with pytest.raises(ValueError):
+            wilson_loop(g, 0, 1)
+        with pytest.raises(ValueError):
+            wilson_loop(g, 1, 1, mu=2, nu=2)
+
+    def test_wilson_loop_area_law_strong_coupling(self):
+        """On random links <W(RxT)> ~ exp(-sigma R T): bigger loops smaller."""
+        lat = Lattice4D((6, 6, 6, 6))
+        g = GaugeField.hot(lat, rng=2)
+        w11 = abs(wilson_loop(g, 1, 1))
+        w22 = abs(wilson_loop(g, 2, 2))
+        assert w22 < w11 + 0.05  # noise floor tolerance
+
+
+class TestChargeConjugation:
+    def test_defining_property(self):
+        c = charge_conjugation_matrix()
+        cinv = np.linalg.inv(c)
+        for mu in range(4):
+            assert np.allclose(c @ GAMMAS[mu] @ cinv, -GAMMAS[mu].T, atol=1e-13), mu
+
+    def test_antisymmetric_unitary(self):
+        c = charge_conjugation_matrix()
+        assert np.allclose(c @ c.conj().T, np.eye(4), atol=1e-13)
+        assert np.allclose(c.T, -c, atol=1e-13)
+
+
+class TestPropagator:
+    def test_columns_solve_dirac_equation(self, free_prop):
+        dirac = WilsonDirac(GaugeField.cold(FREE_LAT), FREE_MASS)
+        assert propagator_norm_check(dirac, free_prop, (0, 0, 0, 0)) < 1e-7
+
+    def test_translation_invariance_free_field(self, free_prop):
+        """Free-field propagator depends only on x - x0."""
+        dirac = WilsonDirac(GaugeField.cold(FREE_LAT), FREE_MASS)
+        shifted = point_propagator(dirac, source_coord=(2, 1, 0, 0), tol=1e-10)
+        rolled = np.roll(np.roll(free_prop, 2, axis=0), 1, axis=1)
+        # Antiperiodic time: rolling the t=14,15 slices across the boundary
+        # flips their sign; compare away from the wrap.
+        assert np.allclose(shifted[3:10], rolled[3:10], atol=1e-7)
+
+    def test_eo_and_direct_paths_agree(self):
+        lat = Lattice4D((4, 4, 2, 2))
+        gauge = GaugeField.hot(lat, rng=3)
+        dirac = WilsonDirac(gauge, mass=0.8)
+        p_eo = point_propagator(dirac, tol=1e-10, use_even_odd=True)
+        p_full = point_propagator(dirac, tol=1e-10, use_even_odd=False)
+        assert np.allclose(p_eo, p_full, atol=1e-7)
+
+
+class TestMesonCorrelators:
+    def test_pion_positive_and_symmetric(self, free_prop):
+        c = pion_correlator(free_prop)
+        assert len(c) == FREE_LAT.nt
+        assert np.all(c > 0)
+        # Cosh symmetry C(t) = C(T - t).
+        for t in range(1, FREE_LAT.nt // 2):
+            assert c[t] == pytest.approx(c[FREE_LAT.nt - t], rel=1e-8)
+
+    def test_pion_equals_gamma5_meson(self, free_prop):
+        c_direct = pion_correlator(free_prop)
+        c_general = meson_correlator(free_prop, GAMMA5, GAMMA5)
+        assert np.allclose(c_direct, c_general, rtol=1e-10)
+
+    def test_free_pion_effective_mass(self, free_prop):
+        """Plateau at 2 log(1 + m) (two free Wilson quarks at rest)."""
+        c = pion_correlator(free_prop)
+        meff = cosh_effective_mass(c)
+        expected = 2.0 * np.log(1.0 + FREE_MASS)
+        plateau = meff[4:7]
+        assert np.all(np.isfinite(plateau))
+        assert np.mean(plateau) == pytest.approx(expected, rel=0.05)
+
+    def test_rho_heavier_or_equal_free(self, free_prop):
+        """Free field: rho and pion are degenerate (no interaction)."""
+        c_pi = pion_correlator(free_prop)
+        c_rho = rho_correlator(free_prop)
+        m_pi = effective_mass(c_pi)[5]
+        m_rho = effective_mass(np.abs(c_rho))[5]
+        assert m_rho == pytest.approx(m_pi, rel=0.05)
+
+    def test_correlator_decays(self, free_prop):
+        c = pion_correlator(free_prop)
+        assert c[0] > c[4] > c[FREE_LAT.nt // 2]
+
+
+class TestNucleon:
+    def test_nucleon_decays_with_three_quark_mass(self, free_prop):
+        """Free field: nucleon effective mass ~ 3 log(1+m) = 1.5x pion."""
+        c_n = np.abs(nucleon_correlator(free_prop))
+        meff = effective_mass(c_n)
+        expected = 3.0 * np.log(1.0 + FREE_MASS)
+        plateau = meff[3:6]
+        assert np.all(np.isfinite(plateau))
+        assert np.mean(plateau) == pytest.approx(expected, rel=0.1)
+
+    def test_nucleon_nonzero(self, free_prop):
+        c_n = nucleon_correlator(free_prop)
+        assert np.max(np.abs(c_n)) > 0
+
+    def test_parity_validated(self, free_prop):
+        with pytest.raises(ValueError):
+            nucleon_correlator(free_prop, parity=0)
+
+
+class TestEffectiveMass:
+    def test_pure_exponential(self):
+        t = np.arange(16)
+        c = 3.0 * np.exp(-0.7 * t)
+        meff = effective_mass(c)
+        assert np.allclose(meff, 0.7, atol=1e-10)
+
+    def test_pure_cosh(self):
+        nt = 16
+        t = np.arange(nt)
+        m = 0.55
+        c = 2.0 * np.cosh(m * (t - nt / 2))
+        meff = cosh_effective_mass(c)
+        valid = np.isfinite(meff)
+        assert valid.sum() >= nt - 4
+        assert np.allclose(meff[valid], m, atol=1e-8)
+
+    def test_cosh_beats_log_near_midpoint(self):
+        nt = 16
+        t = np.arange(nt)
+        m = 0.4
+        c = np.cosh(m * (t - nt / 2))
+        log_m = effective_mass(c)
+        cosh_m = cosh_effective_mass(c)
+        # At t = 5 the backward wave already biases the log mass.
+        assert abs(cosh_m[5] - m) < abs(log_m[5] - m)
+
+    def test_nonpositive_handled(self):
+        c = np.array([1.0, -0.5, 0.25, 0.1])
+        meff = effective_mass(c)
+        assert np.isnan(meff[0]) and np.isnan(meff[1])
+
+
+class TestFitting:
+    def test_fit_cosh_recovers_parameters(self):
+        nt = 24
+        t = np.arange(nt)
+        c = 1.7 * np.cosh(0.62 * (t - nt / 2))
+        fit = fit_cosh(c, 2, 11)
+        assert fit.mass == pytest.approx(0.62, rel=1e-6)
+        assert fit.amplitude == pytest.approx(1.7, rel=1e-6)
+        assert fit.chi2_per_dof < 1e-10
+
+    def test_fit_exp_recovers_parameters(self):
+        t = np.arange(20)
+        c = 2.2 * np.exp(-0.45 * t)
+        fit = fit_exp(c, 1, 12)
+        assert fit.mass == pytest.approx(0.45, rel=1e-6)
+
+    def test_fit_window_validated(self):
+        c = np.ones(8)
+        with pytest.raises(ValueError):
+            fit_cosh(c, 5, 3)
+        with pytest.raises(ValueError):
+            fit_exp(c, 0, 8)
+
+    def test_fit_str(self):
+        t = np.arange(16)
+        fit = fit_cosh(np.cosh(0.3 * (t - 8.0)), 1, 7)
+        assert "m =" in str(fit)
+
+
+class TestSpectrumDriver:
+    def test_free_field_spectrum(self):
+        """End-to-end: cold gauge, measured masses match free-field theory."""
+        gauge = GaugeField.cold(FREE_LAT)
+        res = measure_spectrum(gauge, FREE_MASS, tol=1e-9, fit_window=(3, 7))
+        expected_pi = 2.0 * np.log(1.0 + FREE_MASS)
+        assert res.pion.mass == pytest.approx(expected_pi, rel=0.05)
+        assert res.rho.mass == pytest.approx(expected_pi, rel=0.08)  # degenerate free
+        assert res.nucleon is not None
+        assert res.nucleon.mass == pytest.approx(1.5 * expected_pi, rel=0.15)
+        assert "pion" in res.summary()
+
+    def test_gmor_scan_monotone(self):
+        """m_pi grows with m_q (free field: exactly 2 log(1+m))."""
+        gauge = GaugeField.cold(FREE_LAT)
+        scans = gmor_scan(gauge, [0.3, 0.6], tol=1e-9, fit_window=(3, 7))
+        assert scans[0].pion.mass < scans[1].pion.mass
+        for s, mq in zip(scans, [0.3, 0.6]):
+            assert s.pion.mass == pytest.approx(2 * np.log(1 + mq), rel=0.06)

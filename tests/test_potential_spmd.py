@@ -1,0 +1,132 @@
+"""Static-potential measurement and SPMD CG tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import CollectiveEvent, RankGrid, VirtualComm
+from repro.dirac import DecomposedWilsonDirac, WilsonDirac
+from repro.fields import GaugeField, norm, random_fermion
+from repro.hmc import heatbath_sweep
+from repro.lattice import Lattice4D
+from repro.measure import creutz_ratio, static_potential, wilson_loop_matrix
+from repro.solvers import cg_spmd, solve_wilson
+
+
+class TestStaticPotential:
+    @pytest.fixture(scope="class")
+    def loop_matrix(self):
+        """Plane-averaged loop matrix over a tiny quenched beta=5.7
+        ensemble — enough signal for 3x3 loops."""
+        from repro.hmc import overrelaxation_sweep
+
+        rng = np.random.default_rng(77)
+        gauge = GaugeField.hot(Lattice4D((6, 6, 6, 6)), rng=rng)
+        for _ in range(25):
+            heatbath_sweep(gauge, 5.7, rng)
+            overrelaxation_sweep(gauge, 5.7, rng)
+        ws = []
+        for _ in range(2):
+            for _ in range(5):
+                heatbath_sweep(gauge, 5.7, rng)
+                overrelaxation_sweep(gauge, 5.7, rng)
+            ws.append(wilson_loop_matrix(gauge, 3, 3))
+        return np.mean(ws, axis=0), gauge
+
+    def test_loop_matrix_shape_and_plaquette_corner(self, loop_matrix):
+        w, gauge = loop_matrix
+        assert w.shape == (3, 3)
+        from repro.measure import wilson_loop
+
+        direct = np.mean([wilson_loop(gauge, 1, 1, mu=k, nu=0) for k in (1, 2, 3)])
+        single = wilson_loop_matrix(gauge, 1, 1)
+        assert single[0, 0] == pytest.approx(direct, rel=1e-10)
+
+    def test_loops_decrease_with_area(self, loop_matrix):
+        w, _ = loop_matrix
+        assert w[0, 0] > w[0, 1] > w[0, 2] > 0
+        assert w[0, 0] > w[1, 0] > w[2, 0] > 0
+        assert w[1, 1] > w[2, 2] > 0
+
+    def test_potential_positive_and_rising(self, loop_matrix):
+        """Confinement: V(r) > 0 and rising with r."""
+        w, _ = loop_matrix
+        v = static_potential(w, t=1)
+        assert v[0] > 0
+        assert v[1] > v[0]
+        assert v[2] > v[1]
+
+    def test_creutz_ratio_in_confining_range(self, loop_matrix):
+        """chi(2,2) at beta = 5.7 sits near 0.4 (Coulomb-contaminated) and
+        decreases towards the asymptotic string tension at chi(3,3) —
+        the classic Creutz plot shape."""
+        w, _ = loop_matrix
+        chi22 = creutz_ratio(w, 2, 2)
+        chi33 = creutz_ratio(w, 3, 3)
+        assert 0.1 < chi22 < 0.7
+        assert 0.0 < chi33 < chi22
+
+    def test_free_field_potential_zero(self, tiny_lattice):
+        w = wilson_loop_matrix(GaugeField.cold(tiny_lattice), 2, 2)
+        v = static_potential(w)
+        assert np.allclose(v, 0.0, atol=1e-12)
+
+    def test_validation(self, tiny_lattice):
+        g = GaugeField.cold(tiny_lattice)
+        with pytest.raises(ValueError):
+            wilson_loop_matrix(g, 0, 2)
+        w = wilson_loop_matrix(g, 2, 2)
+        with pytest.raises(ValueError):
+            static_potential(w, t=2)
+        with pytest.raises(ValueError):
+            static_potential(w[:, :1])
+        with pytest.raises(ValueError):
+            creutz_ratio(w, 1, 2)
+
+    def test_nan_on_nonpositive_loops(self):
+        w = np.array([[0.5, 0.2], [-0.1, 0.01]])
+        v = static_potential(w, t=1)
+        assert np.isfinite(v[0])
+        assert np.isnan(v[1])
+        assert np.isnan(creutz_ratio(np.array([[0.5, -0.2], [0.3, 0.1]]), 2, 2))
+
+
+class TestSpmdCG:
+    def _setup(self, grid_dims=(2, 2, 1, 1), mass=0.3, seed=5):
+        lat = Lattice4D((4, 4, 4, 4))
+        gauge = GaugeField.hot(lat, rng=seed)
+        comm = VirtualComm(RankGrid(grid_dims))
+        op = DecomposedWilsonDirac(gauge, mass, comm)
+        b = random_fermion(lat, rng=seed + 1)
+        return lat, gauge, op, b
+
+    def test_matches_single_domain_solve(self):
+        lat, gauge, op, b = self._setup()
+        res = cg_spmd(op, b, tol=1e-9, max_iter=5000)
+        assert res.converged
+        ref = solve_wilson(WilsonDirac(gauge, 0.3), b, tol=1e-9)
+        assert norm(res.x - ref.x) / norm(ref.x) < 1e-6
+        assert res.residual < 1e-7
+
+    def test_collectives_traced_per_iteration(self):
+        lat, gauge, op, b = self._setup()
+        op.comm.trace.clear()
+        res = cg_spmd(op, b, tol=1e-8, max_iter=5000)
+        coll = [e for e in op.comm.trace.events if isinstance(e, CollectiveEvent)]
+        # Two reductions per iteration plus setup dots (b, r0 norms).
+        assert len(coll) >= 2 * res.iterations
+        # Halo events: two exchanges (M, M^dag) per normal-op application.
+        assert op.comm.trace.message_count() > 0
+
+    def test_zero_rhs(self):
+        lat, gauge, op, _ = self._setup()
+        import numpy as np
+
+        res = cg_spmd(op, np.zeros(lat.shape + (4, 3), dtype=complex))
+        assert res.converged and res.iterations == 0
+
+    def test_single_rank_grid(self):
+        lat, gauge, op, b = self._setup(grid_dims=(1, 1, 1, 1))
+        res = cg_spmd(op, b, tol=1e-8)
+        assert res.converged

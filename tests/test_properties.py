@@ -1,0 +1,119 @@
+"""Hypothesis property tests for the load-bearing cross-module invariants.
+
+These randomise over lattice geometries and rank grids — the places where
+index bookkeeping bugs hide from example-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import su3
+from repro.comm import Decomposition, RankGrid, VirtualComm, add_halo, halo_exchange
+from repro.dirac import DecomposedWilsonDirac, WilsonDirac
+from repro.fields import GaugeField, norm, random_fermion
+from repro.lattice import Lattice4D, shift
+
+
+def _divisor_grids(shape):
+    """All rank grids with <= 8 ranks that divide ``shape``."""
+    grids = []
+    for pt in (1, 2):
+        for pz in (1, 2):
+            for py in (1, 2):
+                for px in (1, 2):
+                    dims = (pt, pz, py, px)
+                    if all(n % d == 0 and n // d >= 2 for n, d in zip(shape, dims)):
+                        grids.append(dims)
+    return grids
+
+
+extents = st.sampled_from([2, 4, 6])
+shapes = st.tuples(extents, extents, extents, extents)
+
+
+class TestDecompositionProperties:
+    @given(shapes, st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_scatter_gather_identity(self, shape, seed):
+        lat = Lattice4D(shape)
+        rng = np.random.default_rng(seed)
+        psi = rng.normal(size=lat.shape + (4, 3)) + 1j * rng.normal(size=lat.shape + (4, 3))
+        for dims in _divisor_grids(shape)[:4]:
+            dec = Decomposition(lat, RankGrid(dims))
+            assert np.array_equal(dec.gather(dec.scatter(psi)), psi)
+
+    @given(shapes, st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_decomposed_dslash_equals_single_domain(self, shape, seed):
+        """The headline parallel-correctness property under random geometry."""
+        lat = Lattice4D(shape)
+        gauge = GaugeField.hot(lat, rng=seed)
+        psi = random_fermion(lat, rng=seed + 1)
+        ref = WilsonDirac(gauge, mass=0.2).apply(psi)
+        grids = _divisor_grids(shape)
+        dims = grids[seed % len(grids)]
+        dec = DecomposedWilsonDirac(gauge, 0.2, VirtualComm(RankGrid(dims)))
+        assert np.allclose(dec.apply(psi), ref, atol=1e-11), (shape, dims)
+
+    @given(shapes, st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_halo_ghosts_equal_rolled_neighbours(self, shape, seed):
+        lat = Lattice4D(shape)
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=lat.shape)
+        grids = _divisor_grids(shape)
+        dims = grids[seed % len(grids)]
+        grid = RankGrid(dims)
+        dec = Decomposition(lat, grid)
+        halos = [add_halo(b) for b in dec.scatter(a)]
+        halo_exchange(halos, grid)
+        # Strip ghosts and re-gather: interior untouched.
+        assert np.array_equal(dec.gather([h.interior().copy() for h in halos]), a)
+
+
+class TestGroupProperties:
+    @given(st.integers(0, 10**6), st.floats(0.01, 1.5))
+    @settings(max_examples=25, deadline=None)
+    def test_expm_unitary_for_any_scale(self, seed, scale):
+        a = su3.random_algebra((4,), rng=seed, scale=scale)
+        e = su3.expm_su3(a)
+        assert su3.unitarity_violation(e) < 1e-11
+        assert np.allclose(su3.det(e), 1.0, atol=1e-10)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_gauge_transform_preserves_operator_spectrum(self, seed):
+        """<psi', M' psi'> = <psi, M psi> under simultaneous gauge rotation
+        of links and fermion field — gauge covariance of the Dirac operator."""
+        lat = Lattice4D((2, 2, 2, 4))
+        gauge = GaugeField.hot(lat, rng=seed)
+        psi = random_fermion(lat, rng=seed + 1)
+        g = su3.random_su3(lat.shape, rng=seed + 2)
+        gauge_t = gauge.copy()
+        for mu in range(4):
+            gauge_t.u[mu] = su3.mul(su3.mul(g, gauge.u[mu]), su3.dag(shift(g, mu, 1)))
+        psi_t = np.einsum("...ab,...sb->...sa", g, psi)
+        m = WilsonDirac(gauge, 0.3)
+        m_t = WilsonDirac(gauge_t, 0.3)
+        lhs = np.vdot(psi_t, m_t.apply(psi_t))
+        rhs = np.vdot(psi, m.apply(psi))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestSolverProperties:
+    @given(st.integers(0, 10**6), st.floats(0.3, 2.0))
+    @settings(max_examples=10, deadline=None)
+    def test_wilson_solve_residual_property(self, seed, mass):
+        from repro.solvers import solve_wilson
+
+        lat = Lattice4D((4, 2, 2, 2))
+        gauge = GaugeField.hot(lat, rng=seed)
+        m = WilsonDirac(gauge, mass)
+        b = random_fermion(lat, rng=seed + 1)
+        res = solve_wilson(m, b, tol=1e-8, max_iter=20000)
+        assert res.converged
+        assert norm(m.apply(res.x) - b) / norm(b) < 1e-6

@@ -1,0 +1,147 @@
+"""Statistics tests against known sampling theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    autocorrelation_function,
+    bin_series,
+    bootstrap,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+    jackknife,
+    jackknife_samples,
+)
+
+RNG = np.random.default_rng(2718)
+
+
+class TestJackknife:
+    def test_samples_shape_and_identity(self):
+        data = RNG.normal(size=(10, 4))
+        js = jackknife_samples(data)
+        assert js.shape == data.shape
+        # Leave-one-out mean check against direct computation.
+        direct = np.mean(np.delete(data, 3, axis=0), axis=0)
+        assert np.allclose(js[3], direct)
+
+    def test_mean_error_matches_standard_error(self):
+        """For the identity estimator the jackknife error equals the
+        standard error of the mean exactly."""
+        data = RNG.normal(size=200)
+        est, err = jackknife(data)
+        assert est == pytest.approx(np.mean(data), abs=1e-12)
+        sem = np.std(data, ddof=1) / np.sqrt(len(data))
+        assert err == pytest.approx(sem, rel=1e-10)
+
+    def test_nonlinear_estimator_coverage(self):
+        """Jackknife error of x^2-of-the-mean is approximately 2|mu| sem."""
+        data = RNG.normal(loc=5.0, scale=1.0, size=400)
+        est, err = jackknife(data, estimator=lambda m: m**2)
+        assert est == pytest.approx(25.0, rel=0.05)
+        expected_err = 2 * 5.0 * np.std(data, ddof=1) / np.sqrt(len(data))
+        assert err == pytest.approx(expected_err, rel=0.15)
+
+    def test_correlator_shaped_data(self):
+        data = RNG.normal(size=(50, 8))  # 50 configs x 8 timeslices
+        est, err = jackknife(data)
+        assert est.shape == (8,) and err.shape == (8,)
+        assert np.all(err > 0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            jackknife_samples(np.ones(1))
+
+
+class TestBootstrap:
+    def test_mean_error_close_to_sem(self):
+        data = RNG.normal(size=300)
+        est, err = bootstrap(data, n_boot=800, rng=1)
+        sem = np.std(data, ddof=1) / np.sqrt(len(data))
+        assert est == pytest.approx(np.mean(data), abs=1e-12)
+        assert err == pytest.approx(sem, rel=0.2)
+
+    def test_deterministic_with_seed(self):
+        data = RNG.normal(size=50)
+        _, e1 = bootstrap(data, n_boot=100, rng=7)
+        _, e2 = bootstrap(data, n_boot=100, rng=7)
+        assert e1 == e2
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            bootstrap(np.ones(1))
+
+
+class TestBinning:
+    def test_bin_means(self):
+        data = np.arange(12.0)
+        binned = bin_series(data, 4)
+        assert np.allclose(binned, [1.5, 5.5, 9.5])
+
+    def test_drops_trailing_partial_bin(self):
+        assert len(bin_series(np.arange(10.0), 4)) == 2
+
+    def test_preserves_trailing_axes(self):
+        data = RNG.normal(size=(10, 3))
+        assert bin_series(data, 2).shape == (5, 3)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            bin_series(np.arange(10.0), 0)
+        with pytest.raises(ValueError):
+            bin_series(np.arange(3.0), 5)
+
+    def test_binsize_one_is_identity(self):
+        data = RNG.normal(size=7)
+        assert np.allclose(bin_series(data, 1), data)
+
+
+class TestAutocorrelation:
+    def test_rho_zero_is_one(self):
+        rho = autocorrelation_function(RNG.normal(size=100))
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_iid_tau_half(self):
+        series = RNG.normal(size=20000)
+        tau, _ = integrated_autocorrelation_time(series)
+        assert tau == pytest.approx(0.5, abs=0.1)
+
+    def test_ar1_known_tau(self):
+        """AR(1) with coefficient a has tau_int = 1/2 (1+a)/(1-a)."""
+        a = 0.8
+        n = 200000
+        eps = RNG.normal(size=n)
+        x = np.empty(n)
+        x[0] = eps[0]
+        for i in range(1, n):
+            x[i] = a * x[i - 1] + eps[i]
+        tau, w = integrated_autocorrelation_time(x)
+        expected = 0.5 * (1 + a) / (1 - a)  # = 4.5
+        assert tau == pytest.approx(expected, rel=0.15)
+        assert w >= 1
+
+    def test_effective_sample_size_iid(self):
+        series = RNG.normal(size=10000)
+        neff = effective_sample_size(series)
+        assert neff == pytest.approx(len(series), rel=0.2)
+
+    def test_constant_series(self):
+        rho = autocorrelation_function(np.ones(50))
+        assert np.allclose(rho, 1.0)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            autocorrelation_function(np.ones(1))
+
+    @given(st.integers(10, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_rho_bounded_property(self, n):
+        rng = np.random.default_rng(n)
+        rho = autocorrelation_function(rng.normal(size=n))
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)

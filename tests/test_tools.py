@@ -1,0 +1,110 @@
+"""CLI tool tests: end-to-end pipelines through the argparse entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import load_ensemble, load_gauge
+from repro.tools import fix_gauge, generate_ensemble, scaling, spectrum
+
+
+class TestGenerateEnsemble:
+    def test_writes_configs_with_metadata(self, tmp_path):
+        rc = generate_ensemble.main(
+            [
+                "--shape", "4", "4", "4", "4",
+                "--beta", "5.7",
+                "--configs", "2",
+                "--therm", "3",
+                "--separation", "2",
+                "--seed", "9",
+                "--out", str(tmp_path / "ens"),
+            ]
+        )
+        assert rc == 0
+        loaded = load_ensemble(tmp_path / "ens")
+        assert len(loaded) == 2
+        for i, (gauge, meta) in enumerate(loaded):
+            assert meta["beta"] == 5.7
+            assert meta["index"] == i
+            assert 0.0 < meta["plaquette"] < 1.0
+            assert gauge.unitarity_violation() < 1e-10
+
+    def test_deterministic_given_seed(self, tmp_path):
+        args = [
+            "--shape", "2", "2", "2", "2", "--beta", "5.0", "--configs", "1",
+            "--therm", "2", "--separation", "1", "--seed", "4",
+        ]
+        generate_ensemble.main(args + ["--out", str(tmp_path / "a")])
+        generate_ensemble.main(args + ["--out", str(tmp_path / "b")])
+        ga, _ = load_gauge(tmp_path / "a" / "cfg_0000.npz")
+        gb, _ = load_gauge(tmp_path / "b" / "cfg_0000.npz")
+        assert np.array_equal(ga.u, gb.u)
+
+
+class TestSpectrumTool:
+    def test_measures_stored_config(self, tmp_path, capsys):
+        generate_ensemble.main(
+            [
+                "--shape", "8", "4", "4", "4", "--beta", "5.9", "--configs", "1",
+                "--therm", "10", "--separation", "1", "--seed", "3",
+                "--out", str(tmp_path / "ens"),
+            ]
+        )
+        rc = spectrum.main(
+            [
+                "--config", str(tmp_path / "ens" / "cfg_0000.npz"),
+                "--mass", "0.5",
+                "--tol", "1e-7",
+                "--tmin", "1",
+                "--tmax", "3",
+                "--no-nucleon",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pion" in out
+        assert "correlators" in out
+
+
+class TestScalingTool:
+    def test_prints_tables(self, capsys):
+        rc = scaling.main(["--machine", "bgq", "--max-nodes-log2", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out
+        assert "strong scaling" in out
+        assert "BlueGene/Q" in out
+
+    def test_cluster_machine(self, capsys):
+        rc = scaling.main(["--machine", "cluster", "--max-nodes-log2", "2"])
+        assert rc == 0
+        assert "generic-cluster" in capsys.readouterr().out
+
+
+class TestFixGaugeTool:
+    def test_fixes_and_writes(self, tmp_path, capsys):
+        generate_ensemble.main(
+            [
+                "--shape", "4", "4", "4", "4", "--beta", "5.7", "--configs", "1",
+                "--therm", "3", "--separation", "1", "--seed", "5",
+                "--out", str(tmp_path / "ens"),
+            ]
+        )
+        rc = fix_gauge.main(
+            [
+                "--config", str(tmp_path / "ens" / "cfg_0000.npz"),
+                "--out", str(tmp_path / "fixed.npz"),
+                "--mode", "landau",
+                "--tol", "1e-8",
+                "--max-iter", "500",
+            ]
+        )
+        assert rc == 0
+        fixed, meta = load_gauge(tmp_path / "fixed.npz")
+        assert meta["gauge_mode"] == "landau"
+        assert meta["gauge_theta"] < 1e-8
+        from repro.gaugefix import gauge_condition_violation
+
+        assert gauge_condition_violation(fixed) < 1e-8

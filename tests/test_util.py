@@ -1,0 +1,127 @@
+"""Unit tests for repro.util: rng plumbing, timers, flop accounting, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    FlopCounter,
+    StopWatch,
+    Table,
+    Timer,
+    WILSON_DSLASH_FLOPS_PER_SITE,
+    ensure_rng,
+    format_bytes,
+    format_si,
+    spawn_rngs,
+)
+from repro.util.flops import cg_linalg_flops_per_iter, dslash_flops
+
+
+class TestRng:
+    def test_ensure_rng_from_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=10)
+        b = ensure_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        g = np.random.default_rng(3)
+        assert ensure_rng(g) is g
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        rngs1 = spawn_rngs(42, 4)
+        rngs2 = spawn_rngs(42, 4)
+        draws1 = [r.random() for r in rngs1]
+        draws2 = [r.random() for r in rngs2]
+        assert draws1 == draws2
+        assert len(set(draws1)) == 4  # streams differ from each other
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+
+class TestTimers:
+    def test_timer_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_stopwatch_accumulates_and_counts(self):
+        sw = StopWatch()
+        for _ in range(3):
+            sw.start("phase")
+            sw.stop("phase")
+        assert sw.counts["phase"] == 3
+        assert sw.laps["phase"] >= 0.0
+
+    def test_stopwatch_breakdown_sums_to_one(self):
+        sw = StopWatch()
+        sw.start("a")
+        sum(range(10000))
+        sw.stop("a")
+        sw.start("b")
+        sum(range(10000))
+        sw.stop("b")
+        frac = sw.breakdown()
+        assert frac["a"] + frac["b"] == pytest.approx(1.0)
+
+    def test_stopwatch_empty_breakdown(self):
+        assert StopWatch().breakdown() == {}
+
+
+class TestFlops:
+    def test_dslash_flops_convention(self):
+        assert WILSON_DSLASH_FLOPS_PER_SITE == 1320
+        assert dslash_flops(100) == 132000
+
+    def test_dslash_flops_clover(self):
+        assert dslash_flops(10, clover=True) > dslash_flops(10)
+
+    def test_cg_linalg_flops(self):
+        assert cg_linalg_flops_per_iter(100) == 1000
+
+    def test_counter_accumulates_and_merges(self):
+        c1 = FlopCounter()
+        c1.add("dslash", 100)
+        c1.add("dslash", 50)
+        c2 = FlopCounter()
+        c2.add("linalg", 25)
+        c1.merge(c2)
+        assert c1.by_category == {"dslash": 150, "linalg": 25}
+        assert c1.total() == 175
+        c1.reset()
+        assert c1.total() == 0
+
+
+class TestReport:
+    def test_format_si(self):
+        assert format_si(2.5e9, "F/s") == "2.50 GF/s"
+        assert format_si(0.0) == "0"
+        assert "k" in format_si(1.2e3)
+        assert "T" in format_si(3e12)
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert "KiB" in format_bytes(2048)
+        assert "GiB" in format_bytes(3 * 2**30)
+
+    def test_table_renders_rows(self):
+        t = Table("Scaling", ["nodes", "GF/s"])
+        t.add_row([1, 1.0])
+        t.add_row([1024, 1.05e6])
+        out = t.render()
+        assert "Scaling" in out
+        assert "nodes" in out
+        assert "1024" in out
+
+    def test_table_rejects_bad_row(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_table_empty_renders(self):
+        assert "hdr" in Table("hdr", ["a"]).render()
