@@ -1,7 +1,9 @@
 """E1 — Table 1: single-node Dslash performance.
 
-Micro-benchmarks of the hopping kernel per volume/precision (statistical,
-via pytest-benchmark) plus the paper-style table from the E1 driver.
+Micro-benchmarks of the hopping kernel per volume/precision/backend
+(statistical, via pytest-benchmark) plus the paper-style table from the
+E1 driver, now comparing the ``reference`` roll-based kernel against the
+``fused`` workspace-backed one.
 """
 
 from __future__ import annotations
@@ -10,33 +12,46 @@ import numpy as np
 import pytest
 
 from repro.bench import e1_dslash_performance
-from repro.dirac.hopping import hopping_term
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.fields import GaugeField, random_fermion
+from repro.kernels import make_kernel
 from repro.lattice import Lattice4D
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
 
+@pytest.mark.parametrize("kernel_name", ["reference", "fused"])
 @pytest.mark.parametrize("shape", [(4, 4, 4, 4), (8, 8, 4, 4), (8, 8, 8, 8)])
 @pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
-def test_dslash_kernel(benchmark, shape, dtype):
+def test_dslash_kernel(benchmark, shape, dtype, kernel_name):
     lat = Lattice4D(shape)
     gauge = GaugeField.hot(lat, rng=1, dtype=dtype)
     psi = random_fermion(lat, rng=2, dtype=dtype)
-    result = benchmark(hopping_term, gauge.u, psi)
+    kernel = make_kernel(kernel_name)
+    out = np.empty_like(psi)
+    result = benchmark(kernel, gauge.u, psi, DEFAULT_FERMION_PHASES, out=out)
     assert result.shape == psi.shape
     benchmark.extra_info["sites"] = lat.volume
+    benchmark.extra_info["kernel"] = kernel_name
     benchmark.extra_info["nominal_flops"] = lat.volume * WILSON_DSLASH_FLOPS_PER_SITE
 
 
 def test_e1_table(benchmark, show):
     table, rows = benchmark.pedantic(
-        e1_dslash_performance, kwargs={"repeats": 2}, rounds=1, iterations=1
+        e1_dslash_performance, kwargs={"repeats": 3}, rounds=1, iterations=1
     )
     show(table, "e1_dslash.txt")
-    # fp32 must not be slower than fp64 by more than noise (it moves half
-    # the bytes); assert the qualitative shape only.
-    by_prec = {}
-    for r in rows:
-        by_prec.setdefault(r["precision"], []).append(r["sites_per_s"])
     assert len(rows) > 0
     assert all(r["sites_per_s"] > 0 for r in rows)
+    # Every (volume, precision) cell carries a fused-vs-reference speedup.
+    fused = [r for r in rows if r["kernel"] == "fused"]
+    assert fused and all(np.isfinite(r["speedup"]) for r in fused)
+
+
+def test_fused_speedup_8x8x8x8_fp64(show):
+    """The headline acceptance number: fused >= 2x reference at 8^4 fp64."""
+    table, rows = e1_dslash_performance(volumes=[(8, 8, 8, 8)], repeats=10)
+    show(table, "e1_dslash_8888_fp64.txt")
+    (fused,) = [
+        r for r in rows if r["kernel"] == "fused" and r["precision"] == "fp64"
+    ]
+    assert fused["speedup"] >= 2.0, f"fused speedup {fused['speedup']:.2f}x < 2x"

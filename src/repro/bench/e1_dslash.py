@@ -5,6 +5,13 @@ volume and precision, next to the arithmetic intensity the roofline
 assigns.  The paper's table reports the same rows for the QPX kernel; the
 absolute numbers differ by the Python-vs-assembly gap, the volume and
 precision *trends* are the reproduced shape.
+
+Each (volume, precision) cell is measured for every requested kernel
+backend (``reference`` roll-based vs ``fused`` workspace-backed by
+default), with the fused rows annotated by their speedup over the
+reference — the E1 analogue of the paper's hand-optimised-vs-baseline
+kernel comparison.  Timings are best-of-``repeats`` after a warm-up
+apply, which is the stable statistic on a noisy shared host.
 """
 
 from __future__ import annotations
@@ -13,39 +20,61 @@ import time
 
 import numpy as np
 
-from repro.dirac.hopping import hopping_term
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.fields import GaugeField, random_fermion
+from repro.kernels import make_kernel
 from repro.lattice import Lattice4D
 from repro.machine.roofline import dslash_arithmetic_intensity
 from repro.util import Table
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
-__all__ = ["e1_dslash_performance"]
+__all__ = ["e1_dslash_performance", "DEFAULT_KERNELS"]
 
 DEFAULT_VOLUMES = [(4, 4, 4, 4), (8, 4, 4, 4), (8, 8, 4, 4), (8, 8, 8, 4), (8, 8, 8, 8)]
 
+#: Kernel backends compared by the default E1 sweep.
+DEFAULT_KERNELS = ("reference", "fused")
 
-def _time_kernel(lattice: Lattice4D, dtype, repeats: int = 3) -> float:
-    gauge = GaugeField.hot(lattice, rng=11, dtype=dtype)
-    psi = random_fermion(lattice, rng=12, dtype=dtype)
-    hopping_term(gauge.u, psi)  # warm-up
+
+def _time_kernel(kernel, gauge: GaugeField, psi: np.ndarray, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one hopping apply (seconds)."""
+    out = np.empty_like(psi)
+    phases = DEFAULT_FERMION_PHASES
+    kernel(gauge.u, psi, phases, out=out)  # warm-up: fills caches and workspace
     best = float("inf")
-    for _ in range(repeats):
+    for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        hopping_term(gauge.u, psi)
+        kernel(gauge.u, psi, phases, out=out)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
 def e1_dslash_performance(
     volumes: list[tuple[int, int, int, int]] | None = None,
-    repeats: int = 3,
+    repeats: int = 5,
+    kernels: tuple[str, ...] = DEFAULT_KERNELS,
 ) -> tuple[Table, list[dict]]:
-    """Run the E1 sweep; returns (table, raw rows)."""
+    """Run the E1 sweep; returns (table, raw rows).
+
+    Rows carry ``kernel`` and ``speedup`` fields; ``speedup`` is
+    sites/s relative to the ``reference`` kernel of the same
+    (volume, precision) cell (1.0 for the reference itself, ``nan`` when
+    the reference is not part of the sweep).
+    """
     volumes = volumes or DEFAULT_VOLUMES
     table = Table(
-        "E1 / Table 1 — single-node Wilson Dslash performance (this host, numpy kernel)",
-        ["local volume", "sites", "prec", "t/apply [s]", "Msites/s", "MF/s", "AI [F/B]"],
+        "E1 / Table 1 — single-node Wilson Dslash performance (this host, numpy kernels)",
+        [
+            "local volume",
+            "sites",
+            "prec",
+            "kernel",
+            "t/apply [s]",
+            "Msites/s",
+            "MF/s",
+            "speedup",
+            "AI [F/B]",
+        ],
     )
     rows = []
     for shape in volumes:
@@ -54,28 +83,39 @@ def e1_dslash_performance(
             (np.complex128, "fp64", 8),
             (np.complex64, "fp32", 4),
         ]:
-            t = _time_kernel(lat, dtype, repeats)
-            sites_s = lat.volume / t
-            flops_s = sites_s * WILSON_DSLASH_FLOPS_PER_SITE
-            row = {
-                "volume": shape,
-                "sites": lat.volume,
-                "precision": prec,
-                "seconds": t,
-                "sites_per_s": sites_s,
-                "flops_per_s": flops_s,
-                "arithmetic_intensity": dslash_arithmetic_intensity(prec_bytes),
-            }
-            rows.append(row)
-            table.add_row(
-                [
-                    "x".join(map(str, shape)),
-                    lat.volume,
-                    prec,
-                    t,
-                    sites_s / 1e6,
-                    flops_s / 1e6,
-                    row["arithmetic_intensity"],
-                ]
-            )
+            gauge = GaugeField.hot(lat, rng=11, dtype=dtype)
+            psi = random_fermion(lat, rng=12, dtype=dtype)
+            ref_sites_s = None
+            for name in kernels:
+                t = _time_kernel(make_kernel(name), gauge, psi, repeats)
+                sites_s = lat.volume / t
+                if name == "reference":
+                    ref_sites_s = sites_s
+                speedup = sites_s / ref_sites_s if ref_sites_s else float("nan")
+                flops_s = sites_s * WILSON_DSLASH_FLOPS_PER_SITE
+                row = {
+                    "volume": shape,
+                    "sites": lat.volume,
+                    "precision": prec,
+                    "kernel": name,
+                    "seconds": t,
+                    "sites_per_s": sites_s,
+                    "flops_per_s": flops_s,
+                    "speedup": speedup,
+                    "arithmetic_intensity": dslash_arithmetic_intensity(prec_bytes),
+                }
+                rows.append(row)
+                table.add_row(
+                    [
+                        "x".join(map(str, shape)),
+                        lat.volume,
+                        prec,
+                        name,
+                        t,
+                        sites_s / 1e6,
+                        flops_s / 1e6,
+                        speedup,
+                        row["arithmetic_intensity"],
+                    ]
+                )
     return table, rows

@@ -54,8 +54,9 @@ class CloverDirac(WilsonDirac):
         csw: float = 1.0,
         phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
         use_spin_projection: bool = True,
+        kernel: str | None = None,
     ) -> None:
-        super().__init__(gauge, mass, phases, use_spin_projection)
+        super().__init__(gauge, mass, phases, use_spin_projection, kernel)
         self.csw = float(csw)
         self._terms: list[tuple[np.ndarray, np.ndarray]] = []
         for mu in range(4):
@@ -75,6 +76,23 @@ class CloverDirac(WilsonDirac):
     def apply(self, psi: np.ndarray) -> np.ndarray:
         return super().apply(psi) + self.clover_term(psi)
 
+    def apply_into(self, psi: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Wilson apply_into plus a workspace-buffered clover accumulation.
+
+        Mirrors :meth:`clover_term` op-for-op (zero, add each sigma x F
+        product, scale) so the result matches :meth:`apply` bit-for-bit.
+        """
+        super().apply_into(psi, out)
+        ws = self.workspace
+        acc = ws.zeros(psi.shape, psi.dtype, "clover.acc")
+        term = ws.get(psi.shape, psi.dtype, "clover.term")
+        for sig, f in self._terms:
+            np.einsum("st,...ab,...tb->...sa", sig, f, psi, optimize=True, out=term)
+            acc += term
+        acc *= -0.5 * self.csw
+        out += acc
+        return out
+
     def astype(self, dtype) -> "CloverDirac":
         return CloverDirac(
             self.gauge.astype(dtype),
@@ -82,4 +100,5 @@ class CloverDirac(WilsonDirac):
             self.csw,
             self.phases,
             self.use_spin_projection,
+            kernel=self.kernel_name,
         )

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dirac.hopping import DEFAULT_FERMION_PHASES, hopping_term
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
+from repro.kernels.registry import make_kernel, resolve_kernel_name
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
 __all__ = ["DomainWallDirac"]
@@ -67,6 +68,7 @@ class DomainWallDirac(LinearOperator):
         m5: float = 1.8,
         ls: int = 8,
         phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
+        kernel: str | None = None,
     ) -> None:
         super().__init__()
         if ls < 2:
@@ -76,6 +78,8 @@ class DomainWallDirac(LinearOperator):
         self.m5 = float(m5)
         self.ls = int(ls)
         self.phases = tuple(phases)
+        self.kernel_name = resolve_kernel_name(kernel)
+        self._kernel = make_kernel(self.kernel_name)
         # Ls 4-D Dslash sweeps plus the (cheap) 5th-dimension hops.
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 4 * 12 + 2 * 12
@@ -105,7 +109,7 @@ class DomainWallDirac(LinearOperator):
     def _wilson_part(self, psi: np.ndarray) -> np.ndarray:
         """``(D_W(-M5) + 1) psi`` applied to every s-slice at once."""
         diag = (4.0 - self.m5) + 1.0
-        return diag * psi - 0.5 * hopping_term(
+        return diag * psi - 0.5 * self._kernel(
             self.gauge.u, psi, self.phases, site_axis_start=1
         )
 
@@ -122,12 +126,50 @@ class DomainWallDirac(LinearOperator):
         self._check_shape(psi)
         return self._wilson_part(psi) + self._fifth_dim(psi)
 
+    def apply_into(self, psi: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free apply: the 4-D kernel sweeps all s-slices into
+        ``out`` and the 5th-dimension hops are pure slice arithmetic.
+
+        Value-identical to :meth:`apply`: each in-place subtraction equals
+        the reference's add-of-negation in IEEE arithmetic.
+        """
+        self._check_shape(psi)
+        ls, mf = self.ls, self.mf
+        self._kernel(self.gauge.u, psi, self.phases, site_axis_start=1, out=out)
+        out *= -0.5
+        diag = (4.0 - self.m5) + 1.0
+        tmp = self.workspace.get(psi.shape, psi.dtype, "dwf.diag")
+        np.multiply(psi, diag, out=tmp)
+        out += tmp
+        # - P_- psi_{s+1}: lower spin components from the slice above ...
+        out[0 : ls - 1, ..., 2:4, :] -= psi[1:ls, ..., 2:4, :]
+        # ... - P_+ psi_{s-1}: upper components from the slice below ...
+        out[1:ls, ..., 0:2, :] -= psi[0 : ls - 1, ..., 0:2, :]
+        # ... and the mass-coupled walls (-(-mf psi) == +mf psi exactly).
+        wall = self.workspace.get(psi.shape[1:-2] + (2, psi.shape[-1]), psi.dtype, "dwf.wall")
+        np.multiply(psi[0, ..., 2:4, :], mf, out=wall)
+        out[ls - 1, ..., 2:4, :] += wall
+        np.multiply(psi[ls - 1, ..., 0:2, :], mf, out=wall)
+        out[0, ..., 0:2, :] += wall
+        return out
+
     def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
         """``D^dag = Gamma5 R D R Gamma5`` (reflection x gamma5)."""
         self._check_shape(psi)
         x = self._gamma5_reflect(psi)
         x = self.apply(x)
         return self._gamma5_reflect(x)
+
+    def apply_dagger_into(self, psi: np.ndarray, out: np.ndarray) -> np.ndarray:
+        self._check_shape(psi)
+        tmp = self.workspace.get(psi.shape, psi.dtype, "dwf.g5r")
+        np.copyto(tmp, psi[::-1])
+        tmp[..., 2:4, :] *= -1.0
+        self.apply_into(tmp, out)
+        np.copyto(tmp, out[::-1])
+        tmp[..., 2:4, :] *= -1.0
+        np.copyto(out, tmp)
+        return out
 
     def _gamma5_reflect(self, psi: np.ndarray) -> np.ndarray:
         out = psi[::-1].copy()
@@ -140,5 +182,10 @@ class DomainWallDirac(LinearOperator):
 
     def astype(self, dtype) -> "DomainWallDirac":
         return DomainWallDirac(
-            self.gauge.astype(dtype), self.mf, self.m5, self.ls, self.phases
+            self.gauge.astype(dtype),
+            self.mf,
+            self.m5,
+            self.ls,
+            self.phases,
+            kernel=self.kernel_name,
         )

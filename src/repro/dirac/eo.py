@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dirac.hopping import DEFAULT_FERMION_PHASES, hopping_term
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
 from repro.gammas import apply_gamma5
+from repro.kernels.registry import make_kernel, resolve_kernel_name
 from repro.lattice import checkerboard_masks, mask_field
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
@@ -45,11 +46,16 @@ class EvenOddWilson:
         gauge: GaugeField,
         mass: float,
         phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
+        kernel: str | None = None,
     ) -> None:
         self.gauge = gauge
         self.mass = float(mass)
         self.phases = tuple(phases)
         self.even, self.odd = checkerboard_masks(gauge.lattice)
+        self._not_even = ~self.even
+        self._not_odd = ~self.odd
+        self.kernel_name = resolve_kernel_name(kernel)
+        self._kernel = make_kernel(self.kernel_name)
 
     @property
     def lattice(self):
@@ -65,7 +71,23 @@ class EvenOddWilson:
         The stencil maps each parity onto the other, so masking the output
         suffices when the input lives on the opposite parity.
         """
-        return mask_field(hopping_term(self.gauge.u, psi, self.phases), to_parity_mask)
+        return mask_field(self._kernel(self.gauge.u, psi, self.phases), to_parity_mask)
+
+    def _not_mask(self, to_parity_mask: np.ndarray) -> np.ndarray:
+        if to_parity_mask is self.even:
+            return self._not_even
+        if to_parity_mask is self.odd:
+            return self._not_odd
+        return ~to_parity_mask
+
+    def hop_parity_into(
+        self, psi: np.ndarray, to_parity_mask: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Allocation-free :meth:`hop_parity`: hop into ``out``, zero the
+        complement sites in place."""
+        self._kernel(self.gauge.u, psi, self.phases, out=out)
+        out[self._not_mask(to_parity_mask)] = 0
+        return out
 
     # -- Schur pieces ----------------------------------------------------------
 
@@ -86,7 +108,7 @@ class EvenOddWilson:
 
     def full_operator_apply(self, psi: np.ndarray) -> np.ndarray:
         """The unpreconditioned M (for residual verification in tests)."""
-        return self.diag * psi - 0.5 * hopping_term(self.gauge.u, psi, self.phases)
+        return self.diag * psi - 0.5 * self._kernel(self.gauge.u, psi, self.phases)
 
 
 class SchurOperator(LinearOperator):
@@ -108,7 +130,30 @@ class SchurOperator(LinearOperator):
             4.0 * eo.diag
         )
 
+    def apply_into(self, x_e: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free Schur apply, value-identical to :meth:`apply`
+        (``x / -c == -(x / c)`` and IEEE addition commute exactly)."""
+        eo = self.eo
+        ws = self.workspace
+        tmp = ws.get(x_e.shape, x_e.dtype, "schur.tmp")
+        eo.hop_parity_into(x_e, eo.odd, tmp)
+        eo.hop_parity_into(tmp, eo.even, out)
+        out /= -(4.0 * eo.diag)
+        diag = ws.get(x_e.shape, x_e.dtype, "schur.diag")
+        np.multiply(x_e, eo.diag, out=diag)
+        diag[eo._not_mask(eo.even)] = 0
+        out += diag
+        return out
+
     def apply_dagger(self, x_e: np.ndarray) -> np.ndarray:
         """gamma5-hermiticity survives Schur complementation (gamma5 is
         site-diagonal, hence parity-preserving)."""
         return apply_gamma5(self.apply(apply_gamma5(x_e)))
+
+    def apply_dagger_into(self, x_e: np.ndarray, out: np.ndarray) -> np.ndarray:
+        tmp = self.workspace.get(x_e.shape, x_e.dtype, "schur.g5")
+        np.copyto(tmp, x_e)
+        tmp[..., 2:4, :] *= -1.0
+        self.apply_into(tmp, out)
+        out[..., 2:4, :] *= -1.0
+        return out

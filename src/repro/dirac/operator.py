@@ -3,11 +3,23 @@
 Solvers only need ``op(x) -> y`` plus flop/application accounting; operators
 implement :meth:`apply` and inherit the bookkeeping.  ``NormalOperator``
 wraps ``M`` as the Hermitian positive-definite ``M^dag M`` that CG requires.
+
+The allocation-free variant of the protocol is :meth:`LinearOperator.
+apply_into` (and ``apply_dagger_into``): write the result into a
+caller-provided array, so Krylov hot loops reuse one output buffer per
+operator instead of allocating a fresh field every iteration.  The base
+class provides a copy-through fallback, so every operator supports the
+protocol; the Dirac operators override it with genuinely in-place
+implementations that are bit-for-bit identical to ``apply`` (asserted by
+the tier-1 tests).  Internal scratch comes from a per-operator lazy
+:class:`~repro.kernels.workspace.Workspace`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.kernels.workspace import Workspace
 
 __all__ = ["LinearOperator", "MatrixOperator", "NormalOperator"]
 
@@ -16,7 +28,8 @@ class LinearOperator:
     """Base class: a linear map on fermion-like ndarrays with accounting.
 
     Subclasses implement :meth:`apply` (and :meth:`apply_dagger` when the
-    operator is not Hermitian) and set :attr:`flops_per_apply`.
+    operator is not Hermitian) and set :attr:`flops_per_apply`.  Overriding
+    :meth:`apply_into` is optional but removes per-apply allocations.
     """
 
     #: Nominal real flops of one :meth:`apply` (community convention counts).
@@ -24,6 +37,15 @@ class LinearOperator:
 
     def __init__(self) -> None:
         self.n_applies = 0
+        self._workspace: Workspace | None = None
+
+    @property
+    def workspace(self) -> Workspace:
+        """Lazy per-operator scratch arena for the ``*_into`` paths."""
+        ws = getattr(self, "_workspace", None)
+        if ws is None:
+            ws = self._workspace = Workspace()
+        return ws
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -31,9 +53,26 @@ class LinearOperator:
     def apply_dagger(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError(f"{type(self).__name__} does not implement the adjoint")
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def apply_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``self.apply(x)`` into ``out`` (must not alias ``x``).
+
+        Fallback: compute-then-copy.  Subclasses override for the true
+        allocation-free path; either way the values are identical to
+        :meth:`apply`.
+        """
+        np.copyto(out, self.apply(x))
+        return out
+
+    def apply_dagger_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``self.apply_dagger(x)`` into ``out`` (must not alias ``x``)."""
+        np.copyto(out, self.apply_dagger(x))
+        return out
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         self.n_applies += 1
-        return self.apply(x)
+        if out is None:
+            return self.apply(x)
+        return self.apply_into(x, out)
 
     @property
     def flops_spent(self) -> int:
@@ -65,6 +104,13 @@ class MatrixOperator(LinearOperator):
     def apply_dagger(self, x: np.ndarray) -> np.ndarray:
         return (self.matrix.conj().T @ x.reshape(-1)).reshape(x.shape)
 
+    def apply_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if not out.flags.c_contiguous:  # reshape would silently copy
+            np.copyto(out, self.apply(x))
+            return out
+        np.matmul(self.matrix, x.reshape(-1), out=out.reshape(-1))
+        return out
+
 
 class NormalOperator(LinearOperator):
     """``A = M^dag M`` for an inner operator ``M``.
@@ -84,3 +130,11 @@ class NormalOperator(LinearOperator):
 
     def apply_dagger(self, x: np.ndarray) -> np.ndarray:
         return self.apply(x)  # Hermitian by construction
+
+    def apply_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        tmp = self.workspace.get(x.shape, x.dtype, "normal.tmp")
+        self.inner.apply_into(x, tmp)
+        return self.inner.apply_dagger_into(tmp, out)
+
+    def apply_dagger_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return self.apply_into(x, out)  # Hermitian by construction

@@ -8,16 +8,24 @@ normalisation ``M = (m + 4)(1 - kappa_factor D)`` with
 
 The operator is gamma5-Hermitian: ``M^dag = gamma5 M gamma5``, which is how
 the adjoint is implemented (no second stencil needed).
+
+The hopping term goes through a named kernel from
+:mod:`repro.kernels.registry` — ``fused`` (workspace-backed, default) or
+``reference`` (roll-based specification), selectable per operator via the
+``kernel`` argument or globally via the ``REPRO_KERNEL`` environment
+variable.  The two are bit-for-bit identical, so the choice only affects
+speed and allocation behaviour.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dirac.hopping import DEFAULT_FERMION_PHASES, hopping_term, hopping_term_naive
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
 from repro.gammas import apply_gamma5
+from repro.kernels.registry import make_kernel, resolve_kernel_name
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
 __all__ = ["WilsonDirac"]
@@ -38,8 +46,12 @@ class WilsonDirac(LinearOperator):
         Fermion boundary phases per direction; defaults to antiperiodic
         time.
     use_spin_projection:
-        Select the production half-spinor kernel (default) or the naive
-        full-spinor reference (the E10 ablation).
+        Select a half-spinor kernel (default) or the naive full-spinor
+        reference (the E10 ablation) — equivalent to ``kernel="naive"``.
+    kernel:
+        Hopping-kernel name (see :func:`repro.kernels.available_kernels`);
+        ``None`` defers to ``$REPRO_KERNEL`` and then the ``fused``
+        default.
     """
 
     def __init__(
@@ -48,12 +60,15 @@ class WilsonDirac(LinearOperator):
         mass: float,
         phases: tuple[complex, complex, complex, complex] = DEFAULT_FERMION_PHASES,
         use_spin_projection: bool = True,
+        kernel: str | None = None,
     ) -> None:
         super().__init__()
         self.gauge = gauge
         self.mass = float(mass)
         self.phases = tuple(phases)
         self.use_spin_projection = bool(use_spin_projection)
+        self.kernel_name = "naive" if not self.use_spin_projection else resolve_kernel_name(kernel)
+        self._kernel = make_kernel(self.kernel_name)
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 8 * 12  # hop + axpy with the mass term
         ) * gauge.lattice.volume
@@ -72,16 +87,46 @@ class WilsonDirac(LinearOperator):
         """The site-diagonal coefficient ``m + 4``."""
         return self.mass + 4.0
 
+    def invalidate_kernel_cache(self) -> None:
+        """Drop kernel-side link caches after an *in-place* gauge mutation.
+
+        Not needed when ``gauge.u`` is replaced wholesale (the caches key
+        on array identity).
+        """
+        invalidate = getattr(self._kernel, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
+
     def _hop(self, psi: np.ndarray) -> np.ndarray:
-        kernel = hopping_term if self.use_spin_projection else hopping_term_naive
-        return kernel(self.gauge.u, psi, self.phases)
+        return self._kernel(self.gauge.u, psi, self.phases)
 
     def apply(self, psi: np.ndarray) -> np.ndarray:
         return self.diag * psi - 0.5 * self._hop(psi)
 
+    def apply_into(self, psi: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free apply: ``out = diag * psi - 0.5 * hop(psi)``.
+
+        Bit-identical to :meth:`apply`: ``out *= -0.5`` equals the
+        negated halving exactly, and IEEE addition is commutative.
+        """
+        self._kernel(self.gauge.u, psi, self.phases, out=out)
+        out *= -0.5
+        tmp = self.workspace.get(psi.shape, psi.dtype, "wilson.diag")
+        np.multiply(psi, self.diag, out=tmp)
+        out += tmp
+        return out
+
     def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
         """``M^dag = gamma5 M gamma5`` (gamma5-hermiticity)."""
         return apply_gamma5(self.apply(apply_gamma5(psi)))
+
+    def apply_dagger_into(self, psi: np.ndarray, out: np.ndarray) -> np.ndarray:
+        tmp = self.workspace.get(psi.shape, psi.dtype, "wilson.g5")
+        np.copyto(tmp, psi)
+        tmp[..., 2:4, :] *= -1.0
+        self.apply_into(tmp, out)
+        out[..., 2:4, :] *= -1.0
+        return out
 
     def astype(self, dtype) -> "WilsonDirac":
         """Precision-cast clone (fp32 operator for the mixed-precision inner
@@ -91,4 +136,5 @@ class WilsonDirac(LinearOperator):
             self.mass,
             self.phases,
             self.use_spin_projection,
+            kernel=self.kernel_name,
         )

@@ -81,7 +81,7 @@ def sigma_munu(mu: int, nu: int) -> np.ndarray:
 
 def apply_gamma(psi: np.ndarray, mu: int) -> np.ndarray:
     """Apply ``gamma_mu`` to a fermion field of shape (..., 4, 3)."""
-    return np.einsum("st,...tc->...sc", GAMMAS[mu], psi)
+    return np.einsum("st,...tc->...sc", GAMMAS[mu], psi, optimize=True)
 
 
 def apply_gamma5(psi: np.ndarray) -> np.ndarray:
@@ -102,7 +102,10 @@ def spin_project(psi: np.ndarray, mu: int, s: int) -> np.ndarray:
 
     ``psi`` has shape (..., 4, 3); the result has shape (..., 2, 3).
     """
-    a = _A_BLOCKS[mu]
+    # Match the field precision: the block entries (0, +-1, +-i) are exact
+    # in complex64, and a complex128 operand would silently upcast the
+    # whole fp32 kernel to fp64 arithmetic.
+    a = _A_BLOCKS[mu].astype(psi.dtype, copy=False)
     u = psi[..., 0:2, :]
     lo = psi[..., 2:4, :]
     return u + s * np.einsum("pq,...qc->...pc", a, lo)
@@ -110,7 +113,7 @@ def spin_project(psi: np.ndarray, mu: int, s: int) -> np.ndarray:
 
 def spin_reconstruct(h: np.ndarray, mu: int, s: int) -> np.ndarray:
     """Rebuild the full spinor ``(h, s A_mu^dag h)`` from a half spinor."""
-    a = _A_BLOCKS[mu]
+    a = _A_BLOCKS[mu].astype(h.dtype, copy=False)
     out = np.empty(h.shape[:-2] + (NS, h.shape[-1]), dtype=h.dtype)
     out[..., 0:2, :] = h
     out[..., 2:4, :] = s * np.einsum("qp,...qc->...pc", a.conj(), h)

@@ -52,13 +52,13 @@ def wilson_bilinear_force(
         p_minus = spin_projector_matrix(mu, -1)  # (1 - gamma_mu)
         p_plus = spin_projector_matrix(mu, +1)
         x_fwd = shift_with_phase(x, mu, +1, phases[mu])
-        w1 = np.einsum("st,...tc->...sc", p_minus, y)
-        outer1 = np.einsum("...tc,...ta->...ca", x_fwd, np.conj(w1))
+        w1 = np.einsum("st,...tc->...sc", p_minus, y, optimize=True)
+        outer1 = np.einsum("...tc,...ta->...ca", x_fwd, np.conj(w1), optimize=True)
         c1 = su3.mul(u[mu], outer1)
 
-        w2 = np.einsum("st,...tc->...sc", p_plus, y)
+        w2 = np.einsum("st,...tc->...sc", p_plus, y, optimize=True)
         w2_fwd = shift_with_phase(w2, mu, +1, phases[mu])
-        outer2 = np.einsum("...tc,...ta->...ca", x, np.conj(w2_fwd))
+        outer2 = np.einsum("...tc,...ta->...ca", x, np.conj(w2_fwd), optimize=True)
         c2 = su3.mul_dag(outer2, u[mu])
 
         out[mu] = 0.5 * su3.project_algebra(c1 - c2)

@@ -1,0 +1,42 @@
+"""Kernel backends and workspaces for the Dslash hot path.
+
+The performance subsystem of the operator stack: a scratch-buffer arena
+(:class:`Workspace`), allocation-free slab shifts (:func:`shift_into`),
+the fused spin-projected hopping kernel (:class:`FusedHopping`), and a
+registry of named kernels (``reference`` / ``fused`` / ``fused-matmul``
+/ ``naive``) selectable per operator or via the ``REPRO_KERNEL``
+environment variable.
+
+Design rule — *two Dslash paths, one truth*: the roll-based
+``reference`` kernel in :mod:`repro.dirac.hopping` stays the executable
+specification; the ``fused`` kernel reorganises memory traffic only and
+must agree with it bit-for-bit (enforced by tier-1 property tests).
+"""
+
+from repro.kernels.workspace import Workspace
+from repro.kernels.shifts import shift_into
+from repro.kernels.color import color_mul_into, COLOR_BACKENDS
+from repro.kernels.spin import project_into, reconstruct_accumulate
+from repro.kernels.fused import FusedHopping
+from repro.kernels.registry import (
+    KERNEL_ENV_VAR,
+    DEFAULT_KERNEL,
+    available_kernels,
+    resolve_kernel_name,
+    make_kernel,
+)
+
+__all__ = [
+    "Workspace",
+    "shift_into",
+    "color_mul_into",
+    "COLOR_BACKENDS",
+    "project_into",
+    "reconstruct_accumulate",
+    "FusedHopping",
+    "KERNEL_ENV_VAR",
+    "DEFAULT_KERNEL",
+    "available_kernels",
+    "resolve_kernel_name",
+    "make_kernel",
+]

@@ -1,0 +1,50 @@
+"""The SU(3) color multiply shared by the reference and fused kernels.
+
+``(U h)_{s a} = U_{a b} h_{s b}`` on half spinors of shape (..., 2, 3)
+against links of shape (..., 3, 3).  Both Dslash paths route through
+this one primitive so they stay bit-for-bit identical ("two Dslash
+paths, one truth"): einsum and BLAS order the 3-term dot products
+differently, so mixing backends across paths would break exact
+agreement.
+
+Backends
+--------
+``einsum``
+    ``np.einsum("...ab,...sb->...sa", ...)`` with an ``out=`` buffer.
+    The default: numpy's specialised sum-of-products loops beat batched
+    tiny-matrix BLAS dispatch on every host we measured (a stacked
+    (V,3,3)@(V,3,2) ``np.matmul`` pays per-slice GEMM setup for a
+    3-element dot product; ~2x slower at 8^4 on this numpy build).
+``matmul``
+    The reshaped ``(..., 3, 3) @ (..., 3, 2)`` BLAS form, kept
+    selectable for A/B benchmarking on BLAS builds with fast batched
+    small-matrix paths.  Numerically equivalent but *not* bit-identical
+    to the einsum backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COLOR_BACKENDS", "color_mul_into"]
+
+COLOR_BACKENDS = ("einsum", "matmul")
+
+
+def color_mul_into(
+    out: np.ndarray, u: np.ndarray, h: np.ndarray, backend: str = "einsum"
+) -> np.ndarray:
+    """``out[..., s, a] = sum_b u[..., a, b] h[..., s, b]`` (gauge x half spinor).
+
+    ``u`` broadcasts over leading axes of ``h`` (the 5-D domain-wall
+    field shares one 4-D gauge field across all s-slices).
+    """
+    if backend == "einsum":
+        np.einsum("...ab,...sb->...sa", u, h, out=out)
+    elif backend == "matmul":
+        # (..., 3, 3) @ (..., 3, 2) on colour-major views of the spin-major
+        # buffers; the swapaxes views are handled by the gufunc machinery.
+        np.matmul(u, h.swapaxes(-1, -2), out=out.swapaxes(-1, -2))
+    else:
+        raise ValueError(f"unknown color backend {backend!r}; use {COLOR_BACKENDS}")
+    return out

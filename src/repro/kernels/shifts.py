@@ -1,0 +1,72 @@
+"""Allocation-free periodic shifts via precomputed slice-pair copy plans.
+
+``np.roll`` allocates its output and resolves the wrap-around with
+general index arithmetic on every call.  A nearest-neighbour stencil
+only ever needs two slab copies per shift — the interior block and the
+wrapped boundary slab — so the slice pairs are computed once per
+``(ndim, axis, dist, extent)`` and cached, and :func:`shift_into` writes
+straight into a caller-provided output buffer.
+
+Semantics match :func:`repro.lattice.shift_with_phase` exactly
+(gather convention, phase on the wrapped slab):
+
+``out[..., i, ...] = a[..., (i + dist) % n, ...]`` on ``axis``,
+with the slab that crossed the boundary multiplied by ``phase``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["shift_into"]
+
+
+@lru_cache(maxsize=None)
+def _shift_plan(
+    ndim: int, axis: int, dist: int, n: int
+) -> tuple[tuple, tuple, tuple, tuple]:
+    """(dst_main, src_main, dst_wrap, src_wrap) index tuples for a shift."""
+    d = abs(dist)
+    if d > n:
+        raise ValueError(f"|dist|={d} exceeds extent {n} along axis {axis}")
+
+    def at(sl: slice) -> tuple:
+        idx = [slice(None)] * ndim
+        idx[axis] = sl
+        return tuple(idx)
+
+    if dist > 0:
+        # out[0 : n-d] = a[d : n]; sites x >= n-d wrap to a[0 : d].
+        return at(slice(0, n - d)), at(slice(d, n)), at(slice(n - d, n)), at(slice(0, d))
+    # dist < 0: out[d : n] = a[0 : n-d]; sites x < d wrap to a[n-d : n].
+    return at(slice(d, n)), at(slice(0, n - d)), at(slice(0, d)), at(slice(n - d, n))
+
+
+def shift_into(
+    out: np.ndarray,
+    a: np.ndarray,
+    axis: int,
+    dist: int,
+    phase: complex = 1.0,
+) -> np.ndarray:
+    """Gather ``a`` from ``dist`` sites ahead along ``axis`` into ``out``.
+
+    Bitwise-identical to ``shift_with_phase(a, axis, dist, phase)`` but
+    with zero allocations: two slab copies plus an in-place phase
+    multiply of the wrapped slab.  ``out`` must not alias ``a``.
+    """
+    if out is a:
+        raise ValueError("shift_into requires out and a to be distinct arrays")
+    if dist == 0:
+        np.copyto(out, a)
+        return out
+    dst_main, src_main, dst_wrap, src_wrap = _shift_plan(
+        a.ndim, axis, dist, a.shape[axis]
+    )
+    out[dst_main] = a[src_main]
+    out[dst_wrap] = a[src_wrap]
+    if phase != 1.0:
+        out[dst_wrap] *= phase
+    return out

@@ -1,0 +1,59 @@
+"""Scratch-buffer arena for allocation-free hot loops.
+
+Every production Dslash keeps its shift buffers, half spinors and link
+tables in preallocated scratch memory; the NumPy analogue is a
+:class:`Workspace` that hands out reusable arrays keyed by
+``(shape, dtype, slot)``.  The ``slot`` tag distinguishes buffers of the
+same shape/dtype that must be alive simultaneously (e.g. the shifted
+spinor and the operator output inside one kernel invocation).
+
+Buffers are returned *uninitialised* (``np.empty`` semantics on first
+use, stale contents on reuse) — callers must overwrite every element
+they read.  Use :meth:`Workspace.zeros` when a zero-filled buffer is
+required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A keyed arena of reusable scratch arrays.
+
+    The arena only ever grows: a buffer, once created for a key, is kept
+    for the lifetime of the workspace (or until :meth:`clear`).  Solver
+    hot loops therefore allocate on the first iteration only.
+    """
+
+    def __init__(self) -> None:
+        self._arena: dict[tuple, np.ndarray] = {}
+
+    def get(self, shape, dtype, slot: str | int = 0) -> np.ndarray:
+        """Return the (possibly stale) scratch buffer for this key."""
+        key = (tuple(shape), np.dtype(dtype).str, slot)
+        buf = self._arena.get(key)
+        if buf is None:
+            buf = np.empty(key[0], dtype=np.dtype(dtype))
+            self._arena[key] = buf
+        return buf
+
+    def zeros(self, shape, dtype, slot: str | int = 0) -> np.ndarray:
+        """Like :meth:`get` but zero-filled."""
+        buf = self.get(shape, dtype, slot)
+        buf[...] = 0
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena."""
+        return sum(b.nbytes for b in self._arena.values())
+
+    def __len__(self) -> int:
+        return len(self._arena)
+
+    def clear(self) -> None:
+        """Drop every buffer (the arena repopulates on demand)."""
+        self._arena.clear()

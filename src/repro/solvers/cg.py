@@ -1,13 +1,17 @@
 """Conjugate gradients for Hermitian positive-definite operators.
 
 The workhorse of lattice QCD: applied to the normal equations
-``M^dag M x = M^dag b`` (or the even-odd Schur system).  In-place updates
-keep the per-iteration allocation at the single operator-output array, per
-the numpy performance guidance.
+``M^dag M x = M^dag b`` (or the even-odd Schur system).  The hot loop is
+allocation-free: the operator output and the axpy scratch are allocated
+once up front, the operator writes through :meth:`LinearOperator.
+apply_into`, and every vector update is an in-place ufunc.  Scalar
+reductions use :func:`math.sqrt`; the residual-norm square root is only
+taken when a history is requested.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -51,21 +55,25 @@ def cg(
         r = b - op(x)
 
     p = r.copy()
+    ap = np.empty_like(b)
+    tmp = np.empty_like(b)
     r2 = norm2(r)
     target2 = (tol * tol) * b_norm2
-    history = [np.sqrt(r2 / b_norm2)] if record_history else []
+    history = [math.sqrt(r2 / b_norm2)] if record_history else []
 
     it = 0
     converged = r2 <= target2
     while not converged and it < max_iter:
-        ap = op(p)
+        op(p, out=ap)
         pap = np.vdot(p, ap).real
         if pap <= 0.0:
             # Operator is not positive definite (or roundoff at the limit).
             break
         alpha = r2 / pap
-        x += alpha * p
-        r -= alpha * ap
+        np.multiply(p, alpha, out=tmp)
+        x += tmp
+        np.multiply(ap, alpha, out=tmp)
+        r -= tmp
         r2_new = norm2(r)
         beta = r2_new / r2
         p *= beta
@@ -73,7 +81,7 @@ def cg(
         r2 = r2_new
         it += 1
         if record_history:
-            history.append(float(np.sqrt(r2 / b_norm2)))
+            history.append(math.sqrt(r2 / b_norm2))
         converged = r2 <= target2
 
     applies = op.n_applies - applies0
@@ -81,7 +89,7 @@ def cg(
         x=x,
         converged=bool(converged),
         iterations=it,
-        residual=float(np.sqrt(r2 / b_norm2)),
+        residual=math.sqrt(r2 / b_norm2),
         history=history,
         operator_applies=applies,
         flops=applies * op.flops_per_apply,

@@ -65,6 +65,8 @@ def mixed_precision_cg(
 
     x = np.zeros_like(b)
     r = b.copy()
+    ax = np.empty_like(b)
+    r32 = np.empty(b.shape, dtype=inner_dtype)
     r_rel = 1.0
     history = [r_rel] if record_history else []
 
@@ -77,17 +79,19 @@ def mixed_precision_cg(
         if r_rel <= tol:
             converged = True
             break
-        # Inner correction solve in reduced precision.
-        r32 = r.astype(inner_dtype)
+        # Inner correction solve in reduced precision (reused cast buffer).
+        np.copyto(r32, r, casting="same_kind")
         inner_res = cg(
             op_inner, r32, tol=inner_tol, max_iter=max_inner, record_history=False
         )
         inner_total += inner_res.iterations
         applies += inner_res.operator_applies
         flops += inner_res.flops
-        # Defect correction + true residual in full precision.
-        x += inner_res.x.astype(b.dtype)
-        r = b - op_outer(x)
+        # Defect correction + true residual in full precision (the iadd
+        # upcasts the fp32 correction on the fly — no astype temporary).
+        x += inner_res.x
+        op_outer(x, out=ax)
+        np.subtract(b, ax, out=r)
         applies += 1
         flops += op_outer.flops_per_apply
         r_rel = norm(r) / b_norm

@@ -59,6 +59,8 @@ def multishift_cg(
     x = [np.zeros_like(b) for _ in range(n)]
     p = [b.copy() for _ in range(n)]
     r = b.copy()
+    ap = np.empty_like(b)
+    tmp = np.empty_like(b)
     r2 = norm2(r)
     target2 = (tol * tol) * b_norm2
 
@@ -70,7 +72,10 @@ def multishift_cg(
     it = 0
     converged = r2 <= target2
     while not converged and it < max_iter:
-        ap = op(p[0]) + base * p[0]
+        op(p[0], out=ap)
+        if base != 0.0:
+            np.multiply(p[0], base, out=tmp)
+            ap += tmp
         pap = np.vdot(p[0], ap).real
         if pap <= 0.0:
             break
@@ -95,9 +100,11 @@ def multishift_cg(
 
         for i in range(n):
             alpha_i = alpha * (zeta_next[i] / zeta[i]) if zeta[i] != 0.0 else 0.0
-            x[i] += alpha_i * p[i]
+            np.multiply(p[i], alpha_i, out=tmp)
+            x[i] += tmp
 
-        r -= alpha * ap
+        np.multiply(ap, alpha, out=tmp)
+        r -= tmp
         r2_new = norm2(r)
         beta = r2_new / r2
         for i in range(n):
@@ -107,7 +114,8 @@ def multishift_cg(
             else:
                 beta_i = beta * (zeta_next[i] / zeta[i]) ** 2 if zeta[i] != 0.0 else 0.0
                 p[i] *= beta_i
-                p[i] += zeta_next[i] * r
+                np.multiply(r, zeta_next[i], out=tmp)
+                p[i] += tmp
 
         zeta_prev, zeta = zeta, zeta_next
         alpha_prev, beta_prev = alpha, beta

@@ -37,7 +37,7 @@ def gellmann_matrices() -> np.ndarray:
 def coeffs_to_algebra(coeffs: np.ndarray) -> np.ndarray:
     """Map real coefficients (..., 8) to ``i sum_a c_a T_a`` (..., 3, 3)."""
     coeffs = np.asarray(coeffs, dtype=np.float64)
-    return 0.5j * np.einsum("...a,aij->...ij", coeffs, _LAMBDA)
+    return 0.5j * np.einsum("...a,aij->...ij", coeffs, _LAMBDA, optimize=True)
 
 
 def algebra_to_coeffs(a: np.ndarray) -> np.ndarray:
@@ -48,4 +48,4 @@ def algebra_to_coeffs(a: np.ndarray) -> np.ndarray:
     """
     h = -1j * np.asarray(a)
     # c_a = 2 tr(H T_a) = tr(H lambda_a)
-    return np.real(np.einsum("...ij,aji->...a", h, _LAMBDA))
+    return np.real(np.einsum("...ij,aji->...a", h, _LAMBDA, optimize=True))

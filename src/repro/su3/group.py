@@ -103,7 +103,7 @@ def expm_su3(a: np.ndarray) -> np.ndarray:
     h = -1j * a
     w, v = np.linalg.eigh(h)
     phase = np.exp(1j * w)
-    return np.einsum("...ij,...j,...kj->...ik", v, phase, np.conj(v))
+    return np.einsum("...ij,...j,...kj->...ik", v, phase, np.conj(v), optimize=True)
 
 
 def project_su3(a: np.ndarray, iterations: int = 2) -> np.ndarray:

@@ -288,6 +288,19 @@ class TestDecomposed:
         dec = DecomposedWilsonDirac(gauge, 0.15, VirtualComm(RankGrid((2, 1, 1, 1))))
         assert np.allclose(dec.apply_dagger(psi), ref, atol=1e-12)
 
+    def test_fused_and_reference_agree_bitwise_as_single_domain_truth(self):
+        """Both kernel backends are interchangeable as the single-domain
+        reference of the parallel-correctness property: bit-for-bit equal
+        to each other, and the decomposed path matches either."""
+        lat = Lattice4D((4, 4, 6, 4))
+        gauge = GaugeField.hot(lat, rng=38)
+        psi = random_fermion(lat, rng=39)
+        ref = WilsonDirac(gauge, mass=0.15, kernel="reference").apply(psi)
+        fused = WilsonDirac(gauge, mass=0.15, kernel="fused").apply(psi)
+        assert np.array_equal(ref, fused)
+        dec = DecomposedWilsonDirac(gauge, mass=0.15, comm=VirtualComm(RankGrid((2, 2, 1, 1))))
+        assert np.allclose(dec.apply(psi), fused, atol=1e-12)
+
     def test_trace_is_populated(self):
         lat = Lattice4D((4, 4, 4, 4))
         gauge = GaugeField.hot(lat, rng=42)

@@ -1,0 +1,305 @@
+"""Tier-1 tests for repro.kernels: the fused Dslash must match the
+roll-based reference bit-for-bit ("two Dslash paths, one truth"), and the
+``apply_into`` protocol must be value-identical to ``apply`` everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac.dwf import DomainWallDirac
+from repro.dirac.eo import EvenOddWilson
+from repro.dirac.clover import CloverDirac
+from repro.dirac.hopping import DEFAULT_FERMION_PHASES, PERIODIC_PHASES, hopping_term
+from repro.dirac.operator import MatrixOperator, NormalOperator
+from repro.dirac.wilson import WilsonDirac
+from repro.fields import GaugeField, random_fermion
+from repro.gammas import spin_project, spin_reconstruct
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    FusedHopping,
+    KERNEL_ENV_VAR,
+    Workspace,
+    available_kernels,
+    color_mul_into,
+    make_kernel,
+    project_into,
+    reconstruct_accumulate,
+    resolve_kernel_name,
+    shift_into,
+)
+from repro.lattice import Lattice4D, shift_with_phase
+
+TWISTED_PHASES = (np.exp(0.3j), 1.0, np.exp(-0.2j), 1.0)
+
+
+def _rand_field(rng, shape, dtype):
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+
+
+# -- Workspace -----------------------------------------------------------------
+
+
+class TestWorkspace:
+    def test_same_key_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.get((4, 3), np.complex128)
+        b = ws.get((4, 3), np.complex128)
+        assert a is b
+
+    def test_distinct_slots_and_shapes(self):
+        ws = Workspace()
+        a = ws.get((4, 3), np.complex128, "x")
+        b = ws.get((4, 3), np.complex128, "y")
+        c = ws.get((3, 4), np.complex128, "x")
+        d = ws.get((4, 3), np.complex64, "x")
+        assert len({id(a), id(b), id(c), id(d)}) == 4
+        assert len(ws) == 4
+
+    def test_zeros_and_nbytes_and_clear(self):
+        ws = Workspace()
+        a = ws.get((8,), np.complex128)
+        a[:] = 7.0
+        z = ws.zeros((8,), np.complex128)
+        assert z is a and np.all(z == 0)
+        assert ws.nbytes == 8 * 16
+        ws.clear()
+        assert len(ws) == 0 and ws.nbytes == 0
+
+
+# -- shift_into ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("extents", [(2, 3, 4, 5), (4, 4, 4, 4)])
+@pytest.mark.parametrize("axis", range(4))
+@pytest.mark.parametrize("dist", [+1, -1])
+@pytest.mark.parametrize("phase", [1.0, -1.0, np.exp(0.3j)])
+def test_shift_into_matches_shift_with_phase(extents, axis, dist, phase):
+    rng = np.random.default_rng(5)
+    a = _rand_field(rng, extents + (4, 3), np.complex128)
+    ref = shift_with_phase(a, axis, dist, phase)
+    out = np.empty_like(a)
+    assert shift_into(out, a, axis, dist, phase) is out
+    assert np.array_equal(ref, out)
+
+
+def test_shift_into_rejects_aliasing():
+    a = np.zeros((4, 4, 4, 4, 4, 3), dtype=np.complex128)
+    with pytest.raises(ValueError):
+        shift_into(a, a, 0, 1)
+
+
+# -- spin / colour primitives --------------------------------------------------
+
+
+@pytest.mark.parametrize("mu", range(4))
+@pytest.mark.parametrize("s", [+1, -1])
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64])
+def test_project_reconstruct_match_gammas(mu, s, dtype):
+    rng = np.random.default_rng(6)
+    psi = _rand_field(rng, (3, 4, 5, 2, 4, 3), dtype)
+    ref_h = spin_project(psi, mu, s)
+    h = np.empty(psi.shape[:-2] + (2, 3), dtype=dtype)
+    project_into(h, psi, mu, s)
+    assert np.array_equal(ref_h, h)
+
+    out = _rand_field(rng, psi.shape, dtype)
+    expect = out + spin_reconstruct(h, mu, s)
+    scratch = np.empty_like(h)
+    reconstruct_accumulate(out, h, mu, s, scratch)
+    assert np.array_equal(expect, out)
+
+
+def test_color_mul_into_matches_einsum():
+    rng = np.random.default_rng(7)
+    u = _rand_field(rng, (4, 4, 4, 4, 3, 3), np.complex128)
+    h = _rand_field(rng, (4, 4, 4, 4, 2, 3), np.complex128)
+    ref = np.einsum("...ab,...sb->...sa", u, h)
+    out = np.empty_like(h)
+    color_mul_into(out, u, h)
+    assert np.array_equal(ref, out)
+    # The BLAS backend is numerically equivalent, not bit-identical.
+    out_mm = np.empty_like(h)
+    color_mul_into(out_mm, u, h, backend="matmul")
+    np.testing.assert_allclose(out_mm, ref, rtol=1e-13)
+
+
+# -- fused kernel == reference, bit for bit ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "extents,site_axis_start",
+    [
+        ((4, 4, 4, 4), 0),
+        ((3, 4, 5, 6), 0),  # odd extents: wrap slabs of every size
+        ((2, 3, 4, 5), 0),  # extent-2 axis: forward and backward wrap collide
+        ((5, 3, 4, 5, 6), 1),  # 5-D domain-wall layout
+    ],
+)
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
+@pytest.mark.parametrize(
+    "phases", [DEFAULT_FERMION_PHASES, PERIODIC_PHASES, TWISTED_PHASES],
+    ids=["antiperiodic", "periodic", "twisted"],
+)
+def test_fused_bitwise_equals_reference(extents, site_axis_start, dtype, phases):
+    rng = np.random.default_rng(42)
+    dims4 = extents[site_axis_start : site_axis_start + 4]
+    u = _rand_field(rng, (4,) + dims4 + (3, 3), dtype)
+    psi = _rand_field(rng, extents + (4, 3), dtype)
+
+    ref = hopping_term(u, psi, phases, site_axis_start)
+    kernel = FusedHopping()
+    got = kernel(u, psi, phases, site_axis_start)
+    assert got.dtype == ref.dtype
+    assert np.array_equal(ref, got)
+
+    # Warm-workspace repeat into a caller buffer must be identical too.
+    out = np.empty_like(psi)
+    kernel(u, psi, phases, site_axis_start, out=out)
+    assert np.array_equal(ref, out)
+
+
+def test_fused_rejects_output_aliasing():
+    rng = np.random.default_rng(3)
+    u = _rand_field(rng, (4, 4, 4, 4, 4, 3, 3), np.complex128)
+    psi = _rand_field(rng, (4, 4, 4, 4, 4, 3), np.complex128)
+    with pytest.raises(ValueError):
+        FusedHopping()(u, psi, DEFAULT_FERMION_PHASES, out=psi)
+
+
+def test_fused_link_cache_invalidation():
+    rng = np.random.default_rng(4)
+    u = _rand_field(rng, (4, 4, 4, 4, 4, 3, 3), np.complex128)
+    psi = _rand_field(rng, (4, 4, 4, 4, 4, 3), np.complex128)
+    kernel = FusedHopping()
+    kernel(u, psi, DEFAULT_FERMION_PHASES)
+    # In-place mutation with explicit invalidation matches a fresh kernel.
+    u *= np.exp(0.1j)
+    kernel.invalidate()
+    assert np.array_equal(
+        kernel(u, psi, DEFAULT_FERMION_PHASES),
+        FusedHopping()(u, psi, DEFAULT_FERMION_PHASES),
+    )
+
+
+def test_fused_matmul_backend_is_close():
+    rng = np.random.default_rng(8)
+    u = _rand_field(rng, (4, 4, 4, 4, 4, 3, 3), np.complex128)
+    psi = _rand_field(rng, (4, 4, 4, 4, 4, 3), np.complex128)
+    ref = hopping_term(u, psi, DEFAULT_FERMION_PHASES)
+    got = make_kernel("fused-matmul")(u, psi, DEFAULT_FERMION_PHASES)
+    np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_kernels()
+        assert {"reference", "fused", "fused-matmul", "naive"} <= set(names)
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert resolve_kernel_name() == DEFAULT_KERNEL
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert resolve_kernel_name() == "reference"
+        # Explicit argument wins over the environment.
+        assert resolve_kernel_name("fused") == "fused"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown Dslash kernel"):
+            resolve_kernel_name("does-not-exist")
+
+    def test_make_kernel_returns_fresh_instances(self):
+        assert make_kernel("fused") is not make_kernel("fused")
+
+    def test_operator_env_selection(self, monkeypatch, tiny_lattice):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        gauge = GaugeField.hot(tiny_lattice, rng=1)
+        assert WilsonDirac(gauge, 0.1).kernel_name == "reference"
+        assert WilsonDirac(gauge, 0.1, kernel="fused").kernel_name == "fused"
+
+    def test_reference_kernel_out_path(self, tiny_lattice):
+        rng = np.random.default_rng(9)
+        gauge = GaugeField.hot(tiny_lattice, rng=2)
+        psi = random_fermion(tiny_lattice, rng=rng)
+        kernel = make_kernel("reference")
+        out = np.empty_like(psi)
+        kernel(gauge.u, psi, DEFAULT_FERMION_PHASES, out=out)
+        assert np.array_equal(out, hopping_term(gauge.u, psi))
+        with pytest.raises(ValueError):
+            kernel(gauge.u, psi, DEFAULT_FERMION_PHASES, out=psi)
+
+
+# -- apply_into protocol -------------------------------------------------------
+
+
+def _operators(gauge, dtype):
+    g = gauge if dtype == np.complex128 else gauge.astype(dtype)
+    wilson = WilsonDirac(g, 0.1)
+    dwf = DomainWallDirac(g, mf=0.04, ls=4)
+    return [
+        ("wilson", wilson, None),
+        ("clover", CloverDirac(g, 0.1, csw=1.2), None),
+        ("schur", EvenOddWilson(g, 0.1).schur_operator(), None),
+        ("normal", NormalOperator(wilson), None),
+        ("dwf", dwf, dwf.field_shape()),
+    ]
+
+
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
+def test_apply_into_matches_apply(tiny_lattice, dtype):
+    rng = np.random.default_rng(13)
+    gauge = GaugeField.hot(tiny_lattice, rng=7)
+    for name, op, shape in _operators(gauge, dtype):
+        shape = shape or (tiny_lattice.shape + (4, 3))
+        psi = _rand_field(rng, shape, dtype)
+        for fn, fn_into in (("apply", "apply_into"), ("apply_dagger", "apply_dagger_into")):
+            ref = getattr(op, fn)(psi)
+            out = np.empty_like(psi)
+            assert getattr(op, fn_into)(psi, out) is out
+            assert np.array_equal(ref, out), f"{name}.{fn_into} diverged from {fn}"
+            # Warm-workspace repeat: stale scratch must not leak through.
+            out2 = np.empty_like(psi)
+            getattr(op, fn_into)(psi, out2)
+            assert np.array_equal(ref, out2), f"{name}.{fn_into} unstable on reuse"
+
+
+def test_call_with_out_counts_applies(tiny_lattice):
+    gauge = GaugeField.hot(tiny_lattice, rng=3)
+    op = WilsonDirac(gauge, 0.1)
+    psi = random_fermion(tiny_lattice, rng=4)
+    out = np.empty_like(psi)
+    assert op.n_applies == 0
+    y = op(psi)
+    z = op(psi, out=out)
+    assert op.n_applies == 2
+    assert z is out and np.array_equal(y, out)
+
+
+def test_matrix_operator_apply_into():
+    rng = np.random.default_rng(21)
+    m = rng.standard_normal((12, 12)) + 1j * rng.standard_normal((12, 12))
+    op = MatrixOperator(m)
+    x = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+    out = np.empty_like(x)
+    op.apply_into(x, out)
+    assert np.array_equal(op.apply(x), out)
+
+
+def test_gamma5_hermiticity_under_fused(tiny_lattice):
+    """<chi, M psi> == <M^dag chi, psi> with the fused-kernel adjoint."""
+    rng = np.random.default_rng(17)
+    gauge = GaugeField.hot(tiny_lattice, rng=5)
+    op = WilsonDirac(gauge, 0.1, kernel="fused")
+    psi = random_fermion(tiny_lattice, rng=rng)
+    chi = random_fermion(tiny_lattice, rng=rng)
+    lhs = np.vdot(chi, op.apply(psi))
+    out = np.empty_like(chi)
+    op.apply_dagger_into(chi, out)
+    rhs = np.vdot(out, psi)
+    assert abs(lhs - rhs) < 1e-10 * abs(lhs)
