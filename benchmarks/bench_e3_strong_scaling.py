@@ -1,8 +1,8 @@
-"""E3 — Fig. 2: strong scaling of a 96 x 48^3 lattice on modelled BG/Q."""
+"""E3 — Fig. 2: strong scaling of a fixed lattice, modelled and measured."""
 
 from __future__ import annotations
 
-from repro.bench import e3_strong_scaling
+from repro.bench import e3_strong_scaling, e3_strong_scaling_measured
 
 
 def test_e3_strong_scaling(benchmark, show):
@@ -14,3 +14,27 @@ def test_e3_strong_scaling(benchmark, show):
     # ... but efficiency decays and communication share rises (the crossover).
     assert points[-1].efficiency < points[0].efficiency
     assert points[-1].comm_fraction > points[0].comm_fraction
+
+
+def test_e3_strong_scaling_measured(benchmark, show):
+    """Real execution: measured and modelled efficiency in one table."""
+    table, points = benchmark.pedantic(
+        e3_strong_scaling_measured,
+        kwargs=dict(global_shape=(8, 8, 8, 8), rank_counts=(1, 2), repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        table,
+        "e3_strong_scaling_measured.txt",
+        extra={
+            "sites_per_s": [p.sites_per_s for p in points],
+            "wall_time_s": [p.time_dslash for p in points],
+            "iterations": points[0].iterations,
+        },
+    )
+    assert points[0].speedup == 1.0
+    assert points[0].efficiency == 1.0
+    assert all(p.sites_per_s > 0 for p in points)
+    # The model columns are populated for every measured rank count.
+    assert all(p.modeled_efficiency > 0 for p in points)

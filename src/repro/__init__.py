@@ -48,7 +48,7 @@ from repro.solvers import (
     cg_spmd,
     SolveResult,
 )
-from repro.comm import RankGrid, VirtualComm, TorusTopology
+from repro.comm import RankGrid, VirtualComm, ShmComm, make_comm, TorusTopology
 from repro.hmc import (
     HMC,
     WilsonGaugeAction,
@@ -110,6 +110,8 @@ __all__ = [
     "SolveResult",
     "RankGrid",
     "VirtualComm",
+    "ShmComm",
+    "make_comm",
     "TorusTopology",
     "HMC",
     "WilsonGaugeAction",

@@ -1,19 +1,30 @@
-"""Domain decomposition and the virtual MPI layer.
+"""Domain decomposition and the SPMD communication layer.
 
 The paper's runs decompose the global lattice over a 4-D Cartesian grid of
 MPI ranks mapped onto the BlueGene/Q torus.  We reproduce the *data path*
 exactly — scatter to rank-local arrays, pack faces, exchange halos, stencil
-over the interior — executing all ranks sequentially inside one process
-(``VirtualComm``).  Every message is recorded in a :class:`CommTrace`; the
-machine model converts traces into time at scale.
+over the interior — behind one communicator protocol with two backends:
 
-This substitution is validated by tests that require the decomposed Dslash
-to agree bit-for-bit with the single-domain kernel for every rank grid.
+``VirtualComm``
+    executes all ranks sequentially inside one process, recording every
+    message in a :class:`CommTrace` that the machine model converts into
+    time at scale;
+``ShmComm``
+    runs each rank as a real OS process with rank-local fields in shared
+    memory, so halo exchange and the interior/boundary-split Dslash
+    execute genuinely in parallel on the host's cores — the measured mode
+    of the scaling benchmarks.
+
+Select with :func:`make_comm` / the ``REPRO_COMM`` environment variable.
+The substitution is validated by tests that require the decomposed Dslash
+to agree bit-for-bit across backends and with the single-domain kernel for
+every rank grid.
 """
 
 from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace, HaloEvent, CollectiveEvent, ComputeEvent
 from repro.comm.vcomm import VirtualComm
+from repro.comm.shm import ShmComm
 from repro.comm.decomposition import Decomposition
 from repro.comm.halo import (
     HaloField,
@@ -21,6 +32,16 @@ from repro.comm.halo import (
     add_halo,
     strip_halo,
     face_bytes,
+    face_bytes_of_shape,
+    face_index,
+    record_exchange_trace,
+)
+from repro.comm.registry import (
+    COMM_ENV_VAR,
+    DEFAULT_COMM,
+    available_comms,
+    resolve_comm_name,
+    make_comm,
 )
 from repro.comm.topology import TorusTopology
 
@@ -31,11 +52,20 @@ __all__ = [
     "CollectiveEvent",
     "ComputeEvent",
     "VirtualComm",
+    "ShmComm",
     "Decomposition",
     "HaloField",
     "halo_exchange",
     "add_halo",
     "strip_halo",
     "face_bytes",
+    "face_bytes_of_shape",
+    "face_index",
+    "record_exchange_trace",
+    "COMM_ENV_VAR",
+    "DEFAULT_COMM",
+    "available_comms",
+    "resolve_comm_name",
+    "make_comm",
     "TorusTopology",
 ]

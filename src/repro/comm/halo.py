@@ -6,20 +6,38 @@ fills the shells from the face data of its six-to-eight Cartesian neighbours
 (a *self*-wrap along undecomposed axes), and then applies the stencil to the
 interior with no further neighbour logic.
 
-Only face slabs are exchanged — a nearest-neighbour stencil never reads the
-ghost corners, so they are left stale exactly as production halo codes do.
+Only face slabs are exchanged, with *interior* extents on the orthogonal
+axes — a nearest-neighbour stencil never reads the ghost corners, so they
+are neither sent nor written, exactly as production halo codes do (and
+exactly what :func:`face_bytes` charges).  Corner ghosts keep whatever the
+allocation put there (zeros from :func:`add_halo`), which makes the filled
+arrays deterministic and bit-comparable across communicator backends.
+
+The face-slab index helpers here are the single source of truth for both
+the sequential exchange below and the process-parallel pull-style exchange
+in :mod:`repro.comm.shm` — the two backends copy exactly the same slabs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+import math
 
 import numpy as np
 
 from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace
 
-__all__ = ["HaloField", "add_halo", "strip_halo", "halo_exchange", "face_bytes"]
+__all__ = [
+    "HaloField",
+    "add_halo",
+    "strip_halo",
+    "halo_exchange",
+    "face_bytes",
+    "face_bytes_of_shape",
+    "face_index",
+    "record_exchange_trace",
+]
 
 
 @dataclass
@@ -63,23 +81,72 @@ def strip_halo(halo: HaloField) -> np.ndarray:
     return np.ascontiguousarray(halo.interior())
 
 
-def face_bytes(halo: HaloField, mu: int) -> int:
-    """Payload of one face message along ``mu`` (interior extents on the
-    other axes; ghost corners are not sent)."""
-    shape = list(halo.interior_shape)
+def face_bytes_of_shape(
+    ext_shape: tuple[int, ...], site_axis_start: int, width: int, mu: int, itemsize: int
+) -> int:
+    """Payload of one face message along ``mu`` for a halo-extended shape."""
     face_sites = 1
     for nu in range(4):
         if nu != mu:
-            face_sites *= shape[nu]
-    trailing = int(np.prod(halo.data.shape[halo.site_axis_start + 4 :], dtype=np.int64)) or 1
-    lead = int(np.prod(halo.data.shape[: halo.site_axis_start], dtype=np.int64)) or 1
-    return face_sites * halo.width * trailing * lead * halo.data.itemsize
+            face_sites *= ext_shape[site_axis_start + nu] - 2 * width
+    trailing = int(math.prod(ext_shape[site_axis_start + 4 :])) or 1
+    lead = int(math.prod(ext_shape[:site_axis_start])) or 1
+    return face_sites * width * trailing * lead * itemsize
 
 
-def _axis_slice(halo: HaloField, mu: int, sl: slice) -> tuple[slice, ...]:
-    idx = [slice(None)] * halo.data.ndim
-    idx[halo.site_axis_start + mu] = sl
+def face_bytes(halo: HaloField, mu: int) -> int:
+    """Payload of one face message along ``mu`` (interior extents on the
+    other axes; ghost corners are not sent)."""
+    return face_bytes_of_shape(
+        halo.data.shape, halo.site_axis_start, halo.width, mu, halo.data.itemsize
+    )
+
+
+#: Face-slab roles: ghost shells (written) and interior source slabs (read).
+_FACE_SLABS = {
+    "ghost_lo": lambda w: slice(0, w),
+    "ghost_hi": lambda w: slice(-w, None),
+    "src_lo": lambda w: slice(w, 2 * w),
+    "src_hi": lambda w: slice(-2 * w, -w),
+}
+
+
+def face_index(
+    ndim: int, site_axis_start: int, width: int, mu: int, role: str
+) -> tuple[slice, ...]:
+    """Index tuple selecting one face slab of a halo-extended array.
+
+    ``role`` is one of ``ghost_lo``/``ghost_hi`` (the shells an exchange
+    writes) or ``src_lo``/``src_hi`` (the interior boundary slabs it
+    reads).  Orthogonal site axes take interior extents, so corners are
+    excluded on both sides of the copy.
+    """
+    idx: list[slice] = [slice(None)] * ndim
+    for nu in range(4):
+        idx[site_axis_start + nu] = slice(width, -width)
+    idx[site_axis_start + mu] = _FACE_SLABS[role](width)
     return tuple(idx)
+
+
+def record_exchange_trace(
+    trace: CommTrace | None,
+    grid: RankGrid,
+    nbytes_by_mu: list[int] | tuple[int, ...],
+) -> None:
+    """Log the halo events of one full exchange, in canonical order.
+
+    The canonical order (``mu`` outer, rank inner, high then low
+    neighbour, self-wraps skipped) is shared by every backend so traces
+    stay comparable event-for-event.
+    """
+    if trace is None:
+        return
+    for mu in range(4):
+        for r in grid.all_ranks():
+            if grid.neighbor(r, mu, +1) != r:
+                trace.record_halo(r, mu, +1, nbytes_by_mu[mu])
+            if grid.neighbor(r, mu, -1) != r:
+                trace.record_halo(r, mu, -1, nbytes_by_mu[mu])
 
 
 def halo_exchange(
@@ -105,22 +172,25 @@ def halo_exchange(
     for mu in range(4):
         for r in grid.all_ranks():
             dst = halos[r]
+            ndim, s0 = dst.data.ndim, dst.site_axis_start
             nbytes = face_bytes(dst, mu)
 
             # High ghost <- +mu neighbour's low interior slab.
             nb_hi = grid.neighbor(r, mu, +1)
-            src = halos[nb_hi].data[_axis_slice(halos[nb_hi], mu, slice(w, 2 * w))]
+            src = halos[nb_hi].data[face_index(ndim, s0, w, mu, "src_lo")]
+            ghost = dst.data[face_index(ndim, s0, w, mu, "ghost_hi")]
+            ghost[...] = src
             if phases is not None and grid.crosses_boundary(r, mu, +1):
-                src = src * phases[mu]
-            dst.data[_axis_slice(dst, mu, slice(-w, None))] = src
+                ghost *= phases[mu]
             if nb_hi != r and trace is not None:
                 trace.record_halo(r, mu, +1, nbytes)
 
             # Low ghost <- -mu neighbour's high interior slab.
             nb_lo = grid.neighbor(r, mu, -1)
-            src = halos[nb_lo].data[_axis_slice(halos[nb_lo], mu, slice(-2 * w, -w))]
+            src = halos[nb_lo].data[face_index(ndim, s0, w, mu, "src_hi")]
+            ghost = dst.data[face_index(ndim, s0, w, mu, "ghost_lo")]
+            ghost[...] = src
             if phases is not None and grid.crosses_boundary(r, mu, -1):
-                src = src * np.conj(phases[mu])
-            dst.data[_axis_slice(dst, mu, slice(0, w))] = src
+                ghost *= np.conj(phases[mu])
             if nb_lo != r and trace is not None:
                 trace.record_halo(r, mu, -1, nbytes)

@@ -1,0 +1,78 @@
+"""Communicator registry: named SPMD backends behind one protocol.
+
+Two backends, one data path:
+
+``virtual``
+    :class:`~repro.comm.VirtualComm` — all ranks sequential in one
+    process.  Exact, dependency-free, works at any rank count; scaling
+    curves come from the machine model replaying its trace.
+``shm``
+    :class:`~repro.comm.shm.ShmComm` — one OS process per rank over
+    POSIX shared memory, real parallel halo exchange and overlapped
+    Dslash.  Turns the E2/E3 scaling benchmarks from modelled into
+    measured on the host's cores; bit-for-bit identical results.
+
+Selection precedence mirrors the kernel registry: explicit ``comm=``
+argument > ``REPRO_COMM`` environment variable > the ``virtual`` default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.comm.rankgrid import RankGrid
+from repro.comm.trace import CommTrace
+from repro.comm.vcomm import VirtualComm
+
+__all__ = [
+    "COMM_ENV_VAR",
+    "DEFAULT_COMM",
+    "available_comms",
+    "resolve_comm_name",
+    "make_comm",
+]
+
+COMM_ENV_VAR = "REPRO_COMM"
+DEFAULT_COMM = "virtual"
+
+_COMM_NAMES = ("shm", "virtual")
+
+
+def available_comms() -> tuple[str, ...]:
+    """Registered communicator backend names, sorted."""
+    return _COMM_NAMES
+
+
+def resolve_comm_name(name: str | None = None) -> str:
+    """Resolve a comm backend name: argument > ``$REPRO_COMM`` > default."""
+    if name is None:
+        name = os.environ.get(COMM_ENV_VAR, "").strip() or DEFAULT_COMM
+    if name not in _COMM_NAMES:
+        raise ValueError(
+            f"unknown comm backend {name!r}; available: {available_comms()}"
+        )
+    return name
+
+
+def make_comm(
+    grid: RankGrid | tuple[int, int, int, int],
+    name: str | None = None,
+    trace: CommTrace | None = None,
+    **kwargs,
+):
+    """Instantiate a communicator over ``grid`` by backend name.
+
+    ``shm`` communicators own worker processes and shared segments — close
+    them (``with make_comm(...) as comm:`` or ``comm.close()``) when done;
+    ``virtual`` communicators satisfy the same context protocol as a no-op.
+    """
+    if not isinstance(grid, RankGrid):
+        grid = RankGrid(tuple(grid))
+    resolved = resolve_comm_name(name)
+    if resolved == "shm":
+        from repro.comm.shm import ShmComm
+
+        return ShmComm(grid, trace=trace, **kwargs)
+    if trace is not None:
+        return VirtualComm(grid, trace=trace)
+    return VirtualComm(grid)

@@ -1,0 +1,467 @@
+"""Process-parallel SPMD backend: one OS process per rank over shared memory.
+
+Where :class:`~repro.comm.VirtualComm` executes all ranks sequentially in
+one process, :class:`ShmComm` runs each rank as a real worker process (the
+paper's SPMD model on the cores of one node).  Rank-local fields live in
+named ``multiprocessing.shared_memory`` segments, so a halo exchange is a
+real face-slab copy from a neighbour's segment into the rank's own ghost
+shell, and the interior/boundary-split Dslash stencils the deep interior
+while face traffic is outstanding.
+
+Execution model
+---------------
+* The master (driver) process scatters global fields into the per-rank
+  shared blocks, broadcasts one command over per-worker pipes, and waits
+  for every rank's acknowledgement — the ack sweep is the inter-command
+  barrier.
+* Within a command no barrier is needed: the exchange is *pull*-style
+  (each rank writes only its own ghost shells and reads only neighbour
+  interiors, which are stable for the duration of the command), and the
+  face slabs carry interior extents on orthogonal axes
+  (:func:`~repro.comm.halo.face_index`), so concurrent writes never
+  overlap concurrent reads.
+* ``allreduce_sum`` runs through a shared reduction buffer summed in rank
+  order — the same in-order sum as ``VirtualComm``, hence bit-identical.
+
+Every command carries a hard timeout: a deadlocked or dead worker turns
+into a ``RuntimeError`` instead of a hang, and :meth:`ShmComm.close`
+(also run by ``__exit__``/``__del__``) joins the workers and unlinks every
+segment even when a rank body raised.
+
+The master owns segment lifetime: workers attach by name and deregister
+from the ``resource_tracker`` so only :meth:`close` unlinks (the
+documented double-unlink workaround for Python < 3.13).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+import uuid
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.comm.decomposition import Decomposition
+from repro.comm.halo import (
+    HaloField,
+    face_bytes_of_shape,
+    face_index,
+    halo_exchange,
+    record_exchange_trace,
+)
+from repro.comm.rankgrid import RankGrid
+from repro.comm.trace import CommTrace
+from repro.lattice import Lattice4D
+
+__all__ = ["ShmComm"]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a master-owned segment without adopting its lifetime.
+
+    The resource tracker keys its cache by segment *name*, so letting the
+    attach register (and later unregister) the name would erase the
+    master's own registration and turn the final unlink into a tracker
+    error.  Suppressing registration during the attach leaves exactly one
+    owner — the master — as on Python >= 3.13's ``track=False``.
+    """
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+def _fill_own_ghosts(
+    rank: int,
+    grid: RankGrid,
+    get,
+    key: str,
+    width: int,
+    site_axis_start: int,
+    phases: tuple[complex, complex, complex, complex] | None,
+) -> None:
+    """Pull all ghost shells of ``rank``'s block from neighbour interiors.
+
+    Writes only this rank's ghosts and reads only interior slabs, so all
+    ranks can run concurrently with no intra-command synchronisation.
+    The copy-then-scale order matches :func:`~repro.comm.halo.halo_exchange`
+    exactly, including the boundary-phase application.
+    """
+    mine = get(key, rank)
+    ndim, s0, w = mine.ndim, site_axis_start, width
+    for mu in range(4):
+        nb_hi = grid.neighbor(rank, mu, +1)
+        ghost = mine[face_index(ndim, s0, w, mu, "ghost_hi")]
+        ghost[...] = get(key, nb_hi)[face_index(ndim, s0, w, mu, "src_lo")]
+        if phases is not None and grid.crosses_boundary(rank, mu, +1):
+            ghost *= phases[mu]
+
+        nb_lo = grid.neighbor(rank, mu, -1)
+        ghost = mine[face_index(ndim, s0, w, mu, "ghost_lo")]
+        ghost[...] = get(key, nb_lo)[face_index(ndim, s0, w, mu, "src_hi")]
+        if phases is not None and grid.crosses_boundary(rank, mu, -1):
+            ghost *= np.conj(phases[mu])
+
+
+def _worker_main(rank: int, grid: RankGrid, conn, prefix: str) -> None:
+    """Rank body: attach segments lazily, execute commands until ``stop``."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the master handles ^C
+    from repro.kernels.halo import HaloStencil, dagger_halo_links, full_box, split_boxes
+
+    segments: dict[tuple[str, int], shared_memory.SharedMemory] = {}
+    arrays: dict[tuple[str, int], np.ndarray] = {}
+    shapes: dict[str, tuple[tuple[int, ...], str]] = {}
+    stencil = HaloStencil()
+
+    def get(key: str, r: int) -> np.ndarray:
+        arr = arrays.get((key, r))
+        if arr is None:
+            shape, dtype = shapes[key]
+            seg = _attach_segment(f"{prefix}-{key}-{r}")
+            segments[(key, r)] = seg
+            arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+            arrays[(key, r)] = arr
+        return arr
+
+    running = True
+    while running:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            op = cmd[0]
+            if op == "stop":
+                running = False
+            elif op == "declare":
+                # (key, shape, dtype) triples for later lazy attachment.
+                for key, shape, dtype in cmd[1]:
+                    shapes[key] = (tuple(shape), dtype)
+            elif op == "exchange":
+                _, key, width, s0, phases = cmd
+                _fill_own_ghosts(rank, grid, get, key, width, s0, phases)
+            elif op == "dagger":
+                _, u_key, udag_key = cmd
+                dagger_halo_links(get(u_key, rank), out=get(udag_key, rank))
+            elif op == "dslash":
+                _, psi_key, out_key, u_key, udag_key, width, phases, diag, overlap = cmd
+                psi = get(psi_key, rank)
+                out = get(out_key, rank)
+                u = get(u_key, rank)
+                udag = get(udag_key, rank)
+                local = out.shape[:4]
+                if overlap:
+                    deep, boundary = split_boxes(local, width)
+                    if deep is not None:
+                        stencil.wilson_box_into(out, u, udag, psi, width, deep, diag)
+                    _fill_own_ghosts(rank, grid, get, psi_key, width, 0, phases)
+                    for box in boundary:
+                        stencil.wilson_box_into(out, u, udag, psi, width, box, diag)
+                else:
+                    _fill_own_ghosts(rank, grid, get, psi_key, width, 0, phases)
+                    stencil.wilson_box_into(
+                        out, u, udag, psi, width, full_box(local), diag
+                    )
+            else:
+                raise ValueError(f"unknown shm command {op!r}")
+            conn.send(("ok", None))
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    for seg in segments.values():
+        try:
+            seg.close()
+        except Exception:
+            pass
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+class ShmComm:
+    """A communicator whose ranks are real processes over shared memory.
+
+    Drop-in for :class:`~repro.comm.VirtualComm` behind the comm protocol
+    (``decompose`` / ``exchange`` / ``allreduce_sum`` / ``record_compute``
+    / ``trace``), plus the shared-block API the decomposed operator uses
+    to run halo exchange and the Dslash stencil rank-parallel:
+    :meth:`alloc_blocks`, :meth:`exchange_shared`, :meth:`dagger_shared`,
+    :meth:`run_dslash`.
+
+    Use as a context manager, or call :meth:`close` — teardown stops the
+    workers and unlinks every shared segment even after a rank failure.
+    """
+
+    #: Capability flag the decomposed operator keys the parallel path on.
+    supports_shared_blocks = True
+
+    def __init__(
+        self,
+        grid: RankGrid,
+        trace: CommTrace | None = None,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+    ) -> None:
+        self.grid = grid
+        self.trace = trace if trace is not None else CommTrace()
+        self.timeout = float(timeout)
+        self._prefix = f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._segments: dict[tuple[str, int], shared_memory.SharedMemory] = {}
+        self._blocks: dict[str, tuple[tuple[int, ...], str, list[np.ndarray]]] = {}
+        self._key_counter = 0
+        self._closed = False
+        self._workers: list = []
+        self._pipes: list = []
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
+        try:
+            for r in grid.all_ranks():
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(r, grid, child, self._prefix),
+                    daemon=True,
+                    name=f"shm-rank-{r}",
+                )
+                proc.start()
+                child.close()
+                self._workers.append(proc)
+                self._pipes.append(parent)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- comm protocol (drop-in for VirtualComm) ------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.grid.nranks
+
+    def decompose(self, lattice: Lattice4D) -> Decomposition:
+        return Decomposition(lattice, self.grid)
+
+    def exchange(
+        self,
+        halos: list[HaloField],
+        phases: tuple[complex, complex, complex, complex] | None = None,
+    ) -> None:
+        """Fill ghost shells of master-resident halo fields.
+
+        Arbitrary (non-shared) arrays cannot be touched by the workers, so
+        this runs the sequential exchange — identical data motion and
+        trace.  Shared blocks go through :meth:`exchange_shared`.
+        """
+        halo_exchange(halos, self.grid, trace=self.trace, phases=phases)
+
+    def allreduce_sum(self, partials) -> complex | float:
+        """Global sum through the shared reduction buffer, in rank order.
+
+        The in-order sum is the same arithmetic as ``VirtualComm``, so the
+        result is bit-identical regardless of backend.
+        """
+        if len(partials) != self.nranks:
+            raise ValueError(f"expected {self.nranks} partials, got {len(partials)}")
+        buf = self._reduction_buffer()
+        for r, p in enumerate(partials):
+            buf[r] = p
+        total = buf[0]
+        for r in range(1, self.nranks):
+            total = total + buf[r]
+        self.trace.record_collective(
+            "allreduce_sum", np.asarray(partials[0]).nbytes, self.nranks
+        )
+        if np.iscomplexobj(np.asarray(partials[0])):
+            return complex(total)
+        return float(total.real)
+
+    def record_compute(self, kernel: str, flops_per_rank: int) -> None:
+        self.trace.record_compute(kernel, flops_per_rank, self.nranks)
+
+    # -- shared-block API -----------------------------------------------------
+
+    def new_key(self, tag: str) -> str:
+        """A fresh segment-name-safe key (operators may share one comm)."""
+        self._key_counter += 1
+        return f"{tag}{self._key_counter}"
+
+    def alloc_blocks(self, key: str, shape: tuple[int, ...], dtype) -> list[np.ndarray]:
+        """Allocate one zero-filled shared block per rank; return master views."""
+        self._check_open()
+        if key in self._blocks:
+            raise ValueError(f"shared block key {key!r} already allocated")
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        views: list[np.ndarray] = []
+        for r in self.grid.all_ranks():
+            seg = shared_memory.SharedMemory(
+                create=True, size=nbytes, name=f"{self._prefix}-{key}-{r}"
+            )
+            self._segments[(key, r)] = seg
+            arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+            arr[...] = 0
+            views.append(arr)
+        self._blocks[key] = (tuple(shape), dt.str, views)
+        self._command(("declare", [(key, tuple(shape), dt.str)]))
+        return views
+
+    def blocks(self, key: str) -> list[np.ndarray]:
+        """Master-side views of an allocated shared block set."""
+        return self._blocks[key][2]
+
+    def exchange_shared(
+        self,
+        key: str,
+        width: int = 1,
+        site_axis_start: int = 0,
+        phases: tuple[complex, complex, complex, complex] | None = None,
+    ) -> None:
+        """Rank-parallel halo exchange of a shared block set, with trace."""
+        self._check_open()
+        self._record_exchange(key, width)
+        self._command(("exchange", key, width, site_axis_start, phases))
+
+    def dagger_shared(self, u_key: str, udag_key: str) -> None:
+        """Each rank daggers its own gauge halo block into ``udag_key``."""
+        self._command(("dagger", u_key, udag_key))
+
+    def run_dslash(
+        self,
+        psi_key: str,
+        out_key: str,
+        u_key: str,
+        udag_key: str,
+        phases: tuple[complex, complex, complex, complex],
+        diag: float,
+        width: int = 1,
+        overlap: bool = True,
+    ) -> None:
+        """One rank-parallel Wilson apply: exchange + stencil per worker.
+
+        With ``overlap`` the workers stencil the deep interior before
+        touching ghosts (the interior/boundary split); the result is
+        bit-identical either way.  Halo traffic is recorded exactly as the
+        sequential backend records it.
+        """
+        self._check_open()
+        self._record_exchange(psi_key, width)
+        self._command(
+            ("dslash", psi_key, out_key, u_key, udag_key, width, phases, diag, overlap)
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShmComm is closed")
+
+    def _reduction_buffer(self) -> np.ndarray:
+        views = self._blocks.get("_reduce")
+        if views is None:
+            return self.alloc_blocks("_reduce", (self.nranks,), np.complex128)[0]
+        return views[2][0]
+
+    def _record_exchange(self, key: str, width: int = 1) -> None:
+        shape, dtype, _ = self._blocks[key]
+        s0 = len(shape) - 6  # site axes end 6 before the (spin|dir, color) tail
+        # Fermion blocks are (t,z,y,x,4,3) -> s0=0; gauge (4,t,z,y,x,3,3) -> s0=1.
+        itemsize = np.dtype(dtype).itemsize
+        nbytes = [
+            face_bytes_of_shape(shape, s0, width, mu, itemsize) for mu in range(4)
+        ]
+        record_exchange_trace(self.trace, self.grid, nbytes)
+
+    def _command(self, cmd: tuple) -> None:
+        """Broadcast ``cmd`` and collect every rank's ack (the barrier)."""
+        self._check_open()
+        errors: list[str] = []
+        for r, pipe in enumerate(self._pipes):
+            try:
+                pipe.send(cmd)
+            except (BrokenPipeError, OSError) as e:
+                errors.append(f"rank {r}: send failed ({e})")
+        for r, pipe in enumerate(self._pipes):
+            try:
+                if not pipe.poll(self.timeout):
+                    errors.append(f"rank {r}: no reply within {self.timeout}s")
+                    continue
+                status, payload = pipe.recv()
+            except (EOFError, OSError) as e:
+                errors.append(f"rank {r}: worker died ({e})")
+                continue
+            if status != "ok":
+                errors.append(f"rank {r}:\n{payload}")
+        if errors:
+            raise RuntimeError(
+                f"shm command {cmd[0]!r} failed on {len(errors)} rank(s):\n"
+                + "\n".join(errors)
+            )
+
+    # -- teardown -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers and unlink all segments.  Idempotent; never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except Exception:
+                pass
+        for pipe in self._pipes:
+            try:
+                if pipe.poll(2.0):
+                    pipe.recv()
+            except Exception:
+                pass
+        for proc in self._workers:
+            try:
+                proc.join(timeout=2.0)
+            except Exception:
+                pass
+        for proc in self._workers:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            except Exception:
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except Exception:
+                pass
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+        self._blocks.clear()
+
+    def __enter__(self) -> "ShmComm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort safety net; tests close explicitly
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -60,3 +60,14 @@ class VirtualComm:
 
     def record_compute(self, kernel: str, flops_per_rank: int) -> None:
         self.trace.record_compute(kernel, flops_per_rank, self.nranks)
+
+    # -- context protocol (symmetry with ShmComm; nothing to release) ---------
+
+    def close(self) -> None:
+        """No-op: a sequential communicator owns no processes or segments."""
+
+    def __enter__(self) -> "VirtualComm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,6 +18,7 @@ from repro.kernels.shifts import shift_into
 from repro.kernels.color import color_mul_into, COLOR_BACKENDS
 from repro.kernels.spin import project_into, reconstruct_accumulate
 from repro.kernels.fused import FusedHopping
+from repro.kernels.halo import HaloStencil, dagger_halo_links, split_boxes, full_box
 from repro.kernels.registry import (
     KERNEL_ENV_VAR,
     DEFAULT_KERNEL,
@@ -34,6 +35,10 @@ __all__ = [
     "project_into",
     "reconstruct_accumulate",
     "FusedHopping",
+    "HaloStencil",
+    "dagger_halo_links",
+    "split_boxes",
+    "full_box",
     "KERNEL_ENV_VAR",
     "DEFAULT_KERNEL",
     "available_kernels",
