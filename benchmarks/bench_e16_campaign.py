@@ -1,0 +1,17 @@
+"""E16 — campaign checkpoint overhead and time-to-recover."""
+
+from __future__ import annotations
+
+from repro.bench.e16_campaign import e16_campaign_resilience
+
+
+def test_e16_campaign_resilience(benchmark, show):
+    table, rows = benchmark.pedantic(
+        e16_campaign_resilience, rounds=1, iterations=1
+    )
+    show(table, "e16_campaign.txt", extra={"rows": rows})
+    # Every crash-and-resume run must reproduce the uninterrupted ledger.
+    assert all(r["ledger_parity"] for r in rows)
+    # Tighter checkpointing can only shrink the redone tail.
+    redos = [r["redo_trajectories"] for r in rows]
+    assert redos == sorted(redos)

@@ -26,6 +26,7 @@ from repro.bench.e12_deflation import e12_deflation
 from repro.bench.e13_flow import e13_flow
 from repro.bench.e14_potential import e14_static_potential
 from repro.bench.e15_autocorr import e15_autocorrelation
+from repro.bench.e16_campaign import e16_campaign_resilience
 
 __all__ = [
     "e11_discretizations",
@@ -33,6 +34,7 @@ __all__ = [
     "e13_flow",
     "e14_static_potential",
     "e15_autocorrelation",
+    "e16_campaign_resilience",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

@@ -1,0 +1,201 @@
+"""Fault injection for the campaign layer.
+
+Three fault surfaces, each deterministic and schedulable so recovery tests
+are exact rather than probabilistic:
+
+* **Process faults** (:class:`FaultPlan`): fired by the runner at trajectory
+  boundaries — raise :class:`InjectedCrash` (clean in-process crash),
+  SIGKILL the whole driver (real crash, exercises crash consistency of the
+  ledger/checkpoint fsync discipline), SIGKILL one ShmComm rank (node
+  failure), or corrupt a checkpoint on disk.
+* **Comm faults** (:class:`FaultInjector`): consumed by the hooks inside
+  :meth:`repro.comm.shm.ShmComm._command` — kill a rank just before a
+  command is sent, delay an ack, or drop an ack so the master sees a lost
+  message.
+* **Storage faults** (:func:`corrupt_checkpoint`): truncate a checkpoint,
+  flip payload bytes (CRC mismatch), or stamp a wrong version/magic, to
+  prove the store falls back to the previous good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+from pathlib import Path
+
+from repro.campaign.checkpoint import CHECKPOINT_MAGIC
+
+__all__ = [
+    "InjectedCrash",
+    "FaultPlan",
+    "FaultInjector",
+    "corrupt_checkpoint",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """A deliberately injected crash (the in-process analogue of SIGKILL)."""
+
+
+class FaultPlan:
+    """Step-scheduled faults fired at trajectory boundaries by the runner.
+
+    Each fault fires exactly once: after the campaign resumes and replays
+    the same step, the consumed fault stays quiet, so a plan describes one
+    failure incident rather than an infinite crash loop.
+    """
+
+    def __init__(self) -> None:
+        self._faults: list[dict] = []
+
+    def crash_at(self, step: int) -> "FaultPlan":
+        """Raise :class:`InjectedCrash` just before trajectory ``step`` runs."""
+        self._faults.append({"kind": "crash", "step": int(step), "fired": False})
+        return self
+
+    def sigkill_at(self, step: int) -> "FaultPlan":
+        """SIGKILL the driver process just before trajectory ``step`` runs."""
+        self._faults.append({"kind": "sigkill", "step": int(step), "fired": False})
+        return self
+
+    def kill_rank_at(self, step: int, rank: int) -> "FaultPlan":
+        """SIGKILL ShmComm worker ``rank`` just before trajectory ``step``."""
+        self._faults.append(
+            {"kind": "kill_rank", "step": int(step), "rank": int(rank), "fired": False}
+        )
+        return self
+
+    def corrupt_latest_at(self, step: int, mode: str = "flip-payload") -> "FaultPlan":
+        """Corrupt the newest on-disk checkpoint just before ``step`` runs."""
+        self._faults.append(
+            {"kind": "corrupt", "step": int(step), "mode": mode, "fired": False}
+        )
+        return self
+
+    def fire(self, step: int, comm=None, store=None) -> None:
+        """Fire (and consume) every unfired fault scheduled for ``step``."""
+        for f in self._faults:
+            if f["fired"] or f["step"] != step:
+                continue
+            f["fired"] = True
+            kind = f["kind"]
+            if kind == "crash":
+                raise InjectedCrash(f"injected crash before trajectory {step}")
+            if kind == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif kind == "kill_rank":
+                if comm is None or not hasattr(comm, "kill_rank"):
+                    raise InjectedCrash(
+                        f"kill_rank fault at step {step} but no ShmComm attached"
+                    )
+                comm.kill_rank(f["rank"])
+            elif kind == "corrupt":
+                if store is None:
+                    raise InjectedCrash(
+                        f"corrupt fault at step {step} but no checkpoint store"
+                    )
+                steps = store.steps()
+                if steps:
+                    corrupt_checkpoint(store.path_for(steps[-1]), f["mode"])
+
+
+class FaultInjector:
+    """Command-level fault schedule consumed by ``ShmComm._command`` hooks.
+
+    Faults key on the comm's monotonically increasing command index (the
+    first command a comm issues has index 1) and a rank, so a test can say
+    "drop rank 1's ack of the third command" and get exactly that.
+    """
+
+    def __init__(self) -> None:
+        self._faults: list[dict] = []
+
+    def kill_rank(self, rank: int, at_command: int) -> "FaultInjector":
+        self._faults.append(
+            {"kind": "kill", "rank": int(rank), "cmd": int(at_command), "fired": False}
+        )
+        return self
+
+    def delay_ack(self, rank: int, at_command: int, seconds: float) -> "FaultInjector":
+        self._faults.append(
+            {
+                "kind": "delay",
+                "rank": int(rank),
+                "cmd": int(at_command),
+                "seconds": float(seconds),
+                "fired": False,
+            }
+        )
+        return self
+
+    def drop_ack(self, rank: int, at_command: int) -> "FaultInjector":
+        self._faults.append(
+            {"kind": "drop", "rank": int(rank), "cmd": int(at_command), "fired": False}
+        )
+        return self
+
+    # -- hooks called from repro.comm.shm.ShmComm._command --------------------
+
+    def fire_pre_send(self, comm, command_index: int, rank: int) -> None:
+        for f in self._faults:
+            if (
+                f["kind"] == "kill"
+                and not f["fired"]
+                and f["cmd"] == command_index
+                and f["rank"] == rank
+            ):
+                f["fired"] = True
+                comm.kill_rank(rank)
+
+    def fire_pre_recv(self, comm, command_index: int, rank: int) -> tuple[float, bool]:
+        """Return ``(delay_seconds, drop_ack)`` for this command/rank."""
+        delay, drop = 0.0, False
+        for f in self._faults:
+            if f["fired"] or f["cmd"] != command_index or f["rank"] != rank:
+                continue
+            if f["kind"] == "delay":
+                f["fired"] = True
+                delay += f["seconds"]
+            elif f["kind"] == "drop":
+                f["fired"] = True
+                drop = True
+        return delay, drop
+
+
+def corrupt_checkpoint(path: str | Path, mode: str = "flip-payload") -> None:
+    """Damage a checkpoint file on disk in a controlled way.
+
+    ``truncate``     keep only the first half of the file;
+    ``flip-payload`` XOR one payload byte (header intact → CRC mismatch);
+    ``bad-version``  rewrite the header with an unsupported version;
+    ``bad-magic``    overwrite the magic bytes.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    n_magic = len(CHECKPOINT_MAGIC)
+    if mode == "truncate":
+        blob = blob[: max(n_magic + 4, len(blob) // 2)]
+    elif mode == "flip-payload":
+        (header_len,) = struct.unpack_from("<I", blob, n_magic)
+        payload_start = n_magic + 4 + header_len
+        if payload_start >= len(blob):
+            raise ValueError(f"{path}: no payload to corrupt")
+        blob[payload_start + (len(blob) - payload_start) // 2] ^= 0xFF
+    elif mode == "bad-version":
+        (header_len,) = struct.unpack_from("<I", blob, n_magic)
+        header = json.loads(blob[n_magic + 4 : n_magic + 4 + header_len].decode())
+        header["version"] = -1
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        blob = (
+            bytes(blob[:n_magic])
+            + struct.pack("<I", len(new_header))
+            + new_header
+            + bytes(blob[n_magic + 4 + header_len :])
+        )
+    elif mode == "bad-magic":
+        blob[:n_magic] = b"X" * n_magic
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path.write_bytes(bytes(blob))

@@ -1,0 +1,86 @@
+"""Append-only JSON-lines journal of completed campaign work.
+
+Every completed trajectory or measurement lands as one fsynced JSON line,
+so after any crash the ledger is a prefix of the uninterrupted run's ledger
+plus at most one torn trailing line (which :meth:`Ledger.records` drops).
+On resume the runner truncates the ledger back to the restart step with an
+atomic rewrite, so a finished campaign's journal is *identical* — line for
+line — to the journal of a run that never crashed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.io.atomic import atomic_write_bytes
+
+__all__ = ["LedgerError", "Ledger"]
+
+
+class LedgerError(RuntimeError):
+    """The ledger is damaged beyond the crash-consistency contract."""
+
+
+class Ledger:
+    """A durable JSON-lines journal keyed by an integer ``step`` field."""
+
+    def __init__(self, path: str | Path, durable: bool = True) -> None:
+        self.path = Path(path)
+        self.durable = durable
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (must carry an integer ``step``)."""
+        if "step" not in record:
+            raise ValueError("ledger records must carry a 'step' field")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            if self.durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def records(self) -> list[dict]:
+        """All complete records, tolerating one torn trailing line.
+
+        A crash can only tear the *last* line (appends are sequential);
+        unparseable interior lines mean external damage and raise
+        :class:`LedgerError` rather than silently dropping history.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        out: list[dict] = []
+        for i, line in enumerate(lines):
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                if i == len(lines) - 1:
+                    break  # torn tail from a crash mid-append — expected
+                raise LedgerError(
+                    f"{self.path}: unparseable interior line {i + 1}: {e}"
+                ) from e
+        return out
+
+    def last_step(self) -> int | None:
+        records = self.records()
+        return int(records[-1]["step"]) if records else None
+
+    def truncate_to(self, step: int) -> int:
+        """Atomically drop every record with ``record['step'] >= step``.
+
+        Returns the number of records dropped.  Used on resume: work after
+        the restart checkpoint will be re-executed and re-journaled, so its
+        old records must go for the ledger to match an uninterrupted run.
+        """
+        records = self.records()
+        kept = [r for r in records if int(r["step"]) < step]
+        if len(kept) == len(records) and self.path.exists():
+            # Still rewrite: clears any torn trailing line left by the crash.
+            pass
+        data = "".join(json.dumps(r, sort_keys=True) + "\n" for r in kept)
+        atomic_write_bytes(self.path, data.encode("utf-8"), durable=self.durable)
+        return len(records) - len(kept)

@@ -1,0 +1,409 @@
+"""Resumable campaign drivers: journaled HMC streams and measurement sweeps.
+
+A campaign directory is the unit of durability::
+
+    <dir>/campaign.json            frozen run parameters (physics must match on resume)
+    <dir>/ledger.jsonl             one JSON line per completed trajectory/measurement
+    <dir>/checkpoints/ckpt_*.rpckpt   CRC-stamped gauge + RNG + driver state
+
+The exact-resume contract: a checkpoint captures the gauge links, the full
+serialised RNG state, and the HMC driver counters at a trajectory boundary.
+Because every stochastic decision downstream is drawn from that one RNG
+stream, a run killed at any point and resumed from its last good checkpoint
+replays the *identical* trajectory sequence — same momenta, same
+accept/reject draws, same plaquette stamps, bit for bit — and its ledger
+ends up line-for-line equal to an uninterrupted run's.  A crash therefore
+loses at most one checkpoint interval of work, never correctness.
+
+:func:`run_resilient` adds the supervisor loop used under real fault
+injection: it watches the attached :class:`~repro.comm.shm.ShmComm` (a dead
+rank process trips the watchdog), tears the comm down leak-free, backs off
+exponentially, and restarts the segment from the last good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign.checkpoint import CheckpointStore
+from repro.campaign.faults import FaultPlan, InjectedCrash
+from repro.campaign.ledger import Ledger
+from repro.fields import GaugeField
+from repro.hmc import HMC, WilsonGaugeAction
+from repro.io import atomic_write_bytes, load_gauge
+from repro.lattice import Lattice4D
+from repro.loops import average_plaquette
+from repro.util.rng import restore_rng, rng_state
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignSummary",
+    "CommFault",
+    "ConfigMismatchError",
+    "HMCCampaign",
+    "MeasurementCampaign",
+    "MEASUREMENTS",
+    "RetryPolicy",
+    "run_resilient",
+]
+
+#: Config fields that define the physics of a stream.  A resume with any of
+#: these changed would splice two different Markov chains, so it is refused;
+#: ``n_trajectories`` (stream extension) and ``checkpoint_interval`` /
+#: ``keep_checkpoints`` (durability tuning) may change freely.
+_PHYSICS_FIELDS = (
+    "shape",
+    "beta",
+    "step_size",
+    "n_steps",
+    "integrator",
+    "seed",
+    "start",
+    "reunit_interval",
+)
+
+
+class CommFault(RuntimeError):
+    """The watchdog found the communicator unhealthy (e.g. a dead rank)."""
+
+
+class ConfigMismatchError(ValueError):
+    """Resume attempted with physics parameters that differ from the stored run."""
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one HMC generation campaign."""
+
+    shape: tuple[int, int, int, int]
+    beta: float
+    n_trajectories: int
+    step_size: float = 0.1
+    n_steps: int = 10
+    integrator: str = "leapfrog"
+    seed: int = 12345
+    start: str = "hot"
+    checkpoint_interval: int = 5
+    reunit_interval: int = 25
+    keep_checkpoints: int = 3
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["shape"] = list(self.shape)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignConfig":
+        d = dict(d)
+        d["shape"] = tuple(d["shape"])
+        return cls(**d)
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one (possibly resumed) campaign run."""
+
+    n_trajectories: int
+    resumed_from: int | None
+    acceptance_rate: float
+    final_plaquette: float
+    skipped_checkpoints: int
+    retries: int = 0
+
+
+class HMCCampaign:
+    """A crash-consistent, exactly-resumable HMC trajectory stream."""
+
+    def __init__(self, directory: str | Path, config: CampaignConfig | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._config_path = self.directory / "campaign.json"
+        stored = None
+        if self._config_path.exists():
+            stored = CampaignConfig.from_dict(
+                json.loads(self._config_path.read_text())
+            )
+        if config is None:
+            if stored is None:
+                raise ValueError(
+                    f"no campaign.json in {self.directory} and no config given"
+                )
+            config = stored
+        elif stored is not None:
+            for name in _PHYSICS_FIELDS:
+                if getattr(config, name) != getattr(stored, name):
+                    raise ConfigMismatchError(
+                        f"cannot resume: {name} changed "
+                        f"({getattr(stored, name)!r} -> {getattr(config, name)!r})"
+                    )
+        self.config = config
+        atomic_write_bytes(
+            self._config_path,
+            (json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n").encode(),
+        )
+        self.store = CheckpointStore(
+            self.directory / "checkpoints", keep=config.keep_checkpoints
+        )
+        self.ledger = Ledger(self.directory / "ledger.jsonl")
+
+    # -- state assembly -------------------------------------------------------
+
+    def _fresh(self) -> tuple[GaugeField, HMC]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        lattice = Lattice4D(cfg.shape)
+        if cfg.start == "cold":
+            gauge = GaugeField.cold(lattice)
+        else:
+            gauge = GaugeField.hot(lattice, rng=rng)
+        return gauge, self._make_hmc(rng)
+
+    def _make_hmc(self, rng: np.random.Generator) -> HMC:
+        cfg = self.config
+        return HMC(
+            WilsonGaugeAction(cfg.beta),
+            step_size=cfg.step_size,
+            n_steps=cfg.n_steps,
+            integrator=cfg.integrator,
+            rng=rng,
+        )
+
+    def _restore(self, arrays: dict, meta: dict) -> tuple[GaugeField, HMC]:
+        lattice = Lattice4D(self.config.shape)
+        gauge = GaugeField(lattice, np.ascontiguousarray(arrays["u"]))
+        hmc = self._make_hmc(restore_rng(meta["rng"]))
+        hmc.load_state_dict(meta["hmc"])
+        return gauge, hmc
+
+    def _checkpoint(self, step: int, gauge: GaugeField, hmc: HMC) -> None:
+        self.store.save(
+            step,
+            {"u": gauge.u},
+            {
+                "rng": rng_state(hmc.rng),
+                "hmc": hmc.state_dict(),
+                "plaquette": float(average_plaquette(gauge.u)),
+            },
+        )
+
+    # -- the driver loop ------------------------------------------------------
+
+    def run(
+        self,
+        fault: FaultPlan | None = None,
+        comm=None,
+        progress=None,
+    ) -> CampaignSummary:
+        """Run (or resume) the stream to ``n_trajectories`` completed.
+
+        ``comm`` is an optional supervised communicator: before every
+        trajectory the watchdog checks it is still healthy and raises
+        :class:`CommFault` otherwise, so a killed rank costs one retry, not
+        a hang.  ``fault`` is a :class:`~repro.campaign.faults.FaultPlan`
+        fired at trajectory boundaries.  ``progress`` is called with
+        ``(step, TrajectoryResult)`` after each trajectory.
+        """
+        cfg = self.config
+        latest = self.store.latest()
+        if latest is None:
+            gauge, hmc = self._fresh()
+            start_step = 0
+            resumed_from = None
+            # A run that died before its first checkpoint may have journaled
+            # trajectories it cannot resume; clear them so the replayed
+            # stream journals identically.
+            self.ledger.truncate_to(0)
+        else:
+            step0, arrays, meta = latest
+            gauge, hmc = self._restore(arrays, meta)
+            start_step = step0
+            resumed_from = step0
+            # Work journaled after the restart checkpoint will be redone.
+            self.ledger.truncate_to(start_step)
+
+        for step in range(start_step, cfg.n_trajectories):
+            if fault is not None:
+                fault.fire(step, comm=comm, store=self.store)
+            if comm is not None and not getattr(comm, "healthy", True):
+                dead = [
+                    r for r, ok in enumerate(comm.workers_alive()) if not ok
+                ] if hasattr(comm, "workers_alive") else []
+                raise CommFault(
+                    f"communicator unhealthy before trajectory {step}"
+                    + (f" (dead ranks: {dead})" if dead else "")
+                )
+            result = hmc.trajectory(gauge)
+            if (step + 1) % cfg.reunit_interval == 0:
+                gauge.reunitarize()
+            self.ledger.append(
+                {
+                    "step": step,
+                    "kind": "trajectory",
+                    "accepted": result.accepted,
+                    "delta_h": result.delta_h,
+                    "plaquette": result.plaquette,
+                }
+            )
+            if (step + 1) % cfg.checkpoint_interval == 0 or step + 1 == cfg.n_trajectories:
+                self._checkpoint(step + 1, gauge, hmc)
+            if progress is not None:
+                progress(step, result)
+
+        return CampaignSummary(
+            n_trajectories=cfg.n_trajectories,
+            resumed_from=resumed_from,
+            acceptance_rate=hmc.acceptance_rate,
+            final_plaquette=float(average_plaquette(gauge.u)),
+            skipped_checkpoints=len(self.store.skipped),
+        )
+
+
+# -- measurement sweeps -------------------------------------------------------
+
+
+def _measure_plaquette(gauge: GaugeField, meta: dict) -> dict:
+    return {"plaquette": float(average_plaquette(gauge.u))}
+
+
+def _measure_observables(gauge: GaugeField, meta: dict) -> dict:
+    from repro.measure.observables import gauge_observables
+
+    out: dict[str, float] = {}
+    for k, v in gauge_observables(gauge).items():
+        if isinstance(v, complex):
+            out[f"{k}_re"], out[f"{k}_im"] = float(v.real), float(v.imag)
+        else:
+            out[k] = float(v)
+    return out
+
+
+def _measure_spectrum(gauge: GaugeField, meta: dict) -> dict:
+    from repro.measure.spectrum import measure_spectrum
+
+    res = measure_spectrum(
+        gauge, quark_mass=float(meta.get("quark_mass", 0.1)), include_nucleon=False
+    )
+    return {"pion_mass": float(res.pion.mass), "rho_mass": float(res.rho.mass)}
+
+
+#: Named per-configuration measurement tasks for :class:`MeasurementCampaign`.
+MEASUREMENTS = {
+    "plaquette": _measure_plaquette,
+    "observables": _measure_observables,
+    "spectrum": _measure_spectrum,
+}
+
+
+class MeasurementCampaign:
+    """A journaled sweep of per-configuration measurements over an ensemble.
+
+    The ledger *is* the checkpoint: each configuration's results are one
+    fsynced JSON line keyed by config index, so a resumed sweep skips
+    exactly the completed configurations and re-measures nothing.  Results
+    are deterministic functions of the stored gauge field, so the finished
+    ledger is identical whether or not the sweep was interrupted.
+    """
+
+    def __init__(
+        self,
+        ensemble_dir: str | Path,
+        directory: str | Path,
+        measure: str | None = "plaquette",
+    ) -> None:
+        self.ensemble_dir = Path(ensemble_dir)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ledger = Ledger(self.directory / "measurements.jsonl")
+        if callable(measure):
+            self._measure = measure
+            self.measure_name = getattr(measure, "__name__", "custom")
+        else:
+            if measure not in MEASUREMENTS:
+                raise ValueError(
+                    f"unknown measurement {measure!r}; available: {sorted(MEASUREMENTS)}"
+                )
+            self._measure = MEASUREMENTS[measure]
+            self.measure_name = measure
+
+    def run(self, fault: FaultPlan | None = None, progress=None) -> list[dict]:
+        paths = sorted(self.ensemble_dir.glob("cfg_*.npz"))
+        if not paths:
+            raise FileNotFoundError(f"no cfg_*.npz files in {self.ensemble_dir}")
+        done = {int(r["step"]) for r in self.ledger.records()}
+        for i, path in enumerate(paths):
+            if i in done:
+                continue
+            if fault is not None:
+                fault.fire(i)
+            gauge, meta = load_gauge(path)
+            values = self._measure(gauge, meta)
+            record = {
+                "step": i,
+                "kind": "measurement",
+                "config": path.name,
+                "measure": self.measure_name,
+                **values,
+            }
+            self.ledger.append(record)
+            if progress is not None:
+                progress(i, record)
+        return self.ledger.records()
+
+
+# -- the supervisor loop ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for segment restarts."""
+
+    max_retries: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.backoff_base * self.backoff_factor**attempt, self.backoff_max)
+
+
+def run_resilient(
+    campaign,
+    comm_factory=None,
+    retry: RetryPolicy | None = None,
+    fault: FaultPlan | None = None,
+    sleep=time.sleep,
+    on_failure=None,
+    progress=None,
+) -> CampaignSummary:
+    """Supervise ``campaign.run`` through faults: teardown, back off, resume.
+
+    Each attempt gets a fresh communicator from ``comm_factory`` (if given)
+    which is *always* closed — worker processes joined, ``/dev/shm``
+    segments unlinked — in a ``finally``, so a failed segment cannot leak
+    resources.  A failing attempt resumes from the last good checkpoint; a
+    fault that persists past ``retry.max_retries`` attempts re-raises.
+    ``on_failure`` is called with ``(attempt, exception)`` per failure.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    failures = 0
+    while True:
+        comm = comm_factory() if comm_factory is not None else None
+        try:
+            summary = campaign.run(fault=fault, comm=comm, progress=progress)
+            summary.retries = failures
+            return summary
+        except (CommFault, InjectedCrash, RuntimeError) as e:
+            failures += 1
+            if failures > retry.max_retries:
+                raise
+            if on_failure is not None:
+                on_failure(failures, e)
+            sleep(retry.delay(failures - 1))
+        finally:
+            if comm is not None:
+                comm.close()

@@ -64,6 +64,10 @@ def make_comm(
 
     ``shm`` communicators own worker processes and shared segments — close
     them (``with make_comm(...) as comm:`` or ``comm.close()``) when done;
+    an ``atexit`` sweep (:func:`repro.comm.shm.close_live_comms`) backstops
+    drivers that die with one open.  ``shm``-only keyword arguments
+    (``timeout``, ``start_method``, ``fault_injector`` — the campaign
+    layer's fault-injection hook) are ignored by the ``virtual`` backend;
     ``virtual`` communicators satisfy the same context protocol as a no-op.
     """
     if not isinstance(grid, RankGrid):

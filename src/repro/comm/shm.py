@@ -35,10 +35,13 @@ documented double-unlink workaround for Python < 3.13).
 
 from __future__ import annotations
 
+import atexit
 import os
 import signal
+import time
 import traceback
 import uuid
+import weakref
 import multiprocessing as mp
 from multiprocessing import shared_memory
 
@@ -56,7 +59,24 @@ from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace
 from repro.lattice import Lattice4D
 
-__all__ = ["ShmComm"]
+__all__ = ["ShmComm", "close_live_comms"]
+
+#: Every open ShmComm registers here; an ``atexit`` sweep closes stragglers
+#: so a crashing driver (unhandled exception, sys.exit mid-campaign) cannot
+#: leak ``/dev/shm`` segments or orphan worker processes.  A SIGKILLed
+#: master is unprotectable by definition — the campaign layer handles that
+#: case by reconnecting nothing and relying on segment names being
+#: PID-scoped and workers being daemonic.
+_LIVE_COMMS: "weakref.WeakSet[ShmComm]" = weakref.WeakSet()
+
+
+def close_live_comms() -> None:
+    """Close every still-open ShmComm (idempotent; registered atexit)."""
+    for comm in list(_LIVE_COMMS):
+        comm.close()
+
+
+atexit.register(close_live_comms)
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -211,6 +231,7 @@ class ShmComm:
         trace: CommTrace | None = None,
         timeout: float = 120.0,
         start_method: str | None = None,
+        fault_injector=None,
     ) -> None:
         self.grid = grid
         self.trace = trace if trace is not None else CommTrace()
@@ -222,6 +243,12 @@ class ShmComm:
         self._closed = False
         self._workers: list = []
         self._pipes: list = []
+        # Duck-typed hook (see repro.campaign.faults.FaultInjector): consulted
+        # around every command send/ack so tests and the campaign harness can
+        # kill a rank, delay an ack, or drop an ack at a chosen point.
+        self._faults = fault_injector
+        self._ncommands = 0
+        _LIVE_COMMS.add(self)
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(start_method)
@@ -287,6 +314,39 @@ class ShmComm:
 
     def record_compute(self, kernel: str, flops_per_rank: int) -> None:
         self.trace.record_compute(kernel, flops_per_rank, self.nranks)
+
+    # -- health & fault injection ---------------------------------------------
+
+    def workers_alive(self) -> list[bool]:
+        """Per-rank liveness of the worker processes (cheap, no round trip)."""
+        return [bool(w.is_alive()) for w in self._workers]
+
+    @property
+    def healthy(self) -> bool:
+        """True while the comm is open and every rank process is alive."""
+        return not self._closed and all(self.workers_alive())
+
+    def ping(self) -> bool:
+        """Full command/ack round trip through every rank (the watchdog probe).
+
+        An empty ``declare`` is a no-op on the workers but still traverses
+        the pipes, so a dead, wedged, or deadlocked rank surfaces as the
+        usual ``RuntimeError`` instead of a later mid-physics hang.
+        """
+        self._command(("declare", []))
+        return True
+
+    def kill_rank(self, rank: int, sig: int = signal.SIGKILL) -> None:
+        """Fault-injection hook: deliver ``sig`` to one worker process.
+
+        SIGKILL models node failure — the worker gets no chance to clean
+        up, exactly like a production rank loss.  Master-owned segments are
+        unaffected; :meth:`close` still unlinks everything.
+        """
+        proc = self._workers[rank]
+        if proc.is_alive() and proc.pid is not None:
+            os.kill(proc.pid, sig)
+        proc.join(timeout=5.0)
 
     # -- shared-block API -----------------------------------------------------
 
@@ -384,13 +444,22 @@ class ShmComm:
     def _command(self, cmd: tuple) -> None:
         """Broadcast ``cmd`` and collect every rank's ack (the barrier)."""
         self._check_open()
+        self._ncommands += 1
+        idx = self._ncommands
         errors: list[str] = []
         for r, pipe in enumerate(self._pipes):
+            if self._faults is not None:
+                self._faults.fire_pre_send(self, idx, r)
             try:
                 pipe.send(cmd)
             except (BrokenPipeError, OSError) as e:
                 errors.append(f"rank {r}: send failed ({e})")
         for r, pipe in enumerate(self._pipes):
+            drop_ack = False
+            if self._faults is not None:
+                delay, drop_ack = self._faults.fire_pre_recv(self, idx, r)
+                if delay > 0.0:
+                    time.sleep(delay)
             try:
                 if not pipe.poll(self.timeout):
                     errors.append(f"rank {r}: no reply within {self.timeout}s")
@@ -398,6 +467,11 @@ class ShmComm:
                 status, payload = pipe.recv()
             except (EOFError, OSError) as e:
                 errors.append(f"rank {r}: worker died ({e})")
+                continue
+            if drop_ack:
+                # Consume the ack (keeping the pipe in sync) but treat it as
+                # lost — the injected-network-fault path.
+                errors.append(f"rank {r}: ack dropped (injected fault)")
                 continue
             if status != "ok":
                 errors.append(f"rank {r}:\n{payload}")
@@ -414,6 +488,7 @@ class ShmComm:
         if self._closed:
             return
         self._closed = True
+        _LIVE_COMMS.discard(self)
         for pipe in self._pipes:
             try:
                 pipe.send(("stop",))

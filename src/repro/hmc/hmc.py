@@ -80,6 +80,24 @@ class HMC:
             self._action = self.action
         self.rng = ensure_rng(self.rng)
 
+    def state_dict(self) -> dict:
+        """Checkpointable driver counters (the RNG is serialised separately).
+
+        Together with the gauge links and the RNG state this is everything a
+        resumed stream needs to continue bit-for-bit (see ``repro.campaign``).
+        """
+        return {
+            "n_accepted": int(self.n_accepted),
+            "n_trajectories": int(self.n_trajectories),
+            "dh_history": [float(x) for x in self.dh_history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters saved by :meth:`state_dict`."""
+        self.n_accepted = int(state["n_accepted"])
+        self.n_trajectories = int(state["n_trajectories"])
+        self.dh_history = [float(x) for x in state["dh_history"]]
+
     @property
     def acceptance_rate(self) -> float:
         if self.n_trajectories == 0:

@@ -1,5 +1,20 @@
-"""Configuration and ensemble I/O."""
+"""Configuration and ensemble I/O, plus crash-consistent write primitives."""
 
-from repro.io.config_io import save_gauge, load_gauge, save_ensemble, load_ensemble
+from repro.io.atomic import atomic_write_bytes, fsync_directory
+from repro.io.config_io import (
+    CorruptConfigError,
+    save_gauge,
+    load_gauge,
+    save_ensemble,
+    load_ensemble,
+)
 
-__all__ = ["save_gauge", "load_gauge", "save_ensemble", "load_ensemble"]
+__all__ = [
+    "CorruptConfigError",
+    "atomic_write_bytes",
+    "fsync_directory",
+    "save_gauge",
+    "load_gauge",
+    "save_ensemble",
+    "load_ensemble",
+]

@@ -1,0 +1,66 @@
+"""Crash-consistent file writes: temp file + fsync + ``os.replace``.
+
+Production campaigns write checkpoints and configurations continuously for
+months; a crash mid-write must never leave a truncated file under the final
+name.  Every durable artefact in this repository (gauge configurations,
+campaign checkpoints, ledger compactions) goes through :func:`atomic_write_bytes`:
+the payload lands in a same-directory temporary file, is flushed and fsynced,
+and only then renamed over the destination — on POSIX, ``os.replace`` is
+atomic, so readers observe either the old complete file or the new complete
+file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "fsync_directory"]
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry so a just-renamed file survives power loss.
+
+    Best-effort: platforms that cannot fsync a directory fd simply skip.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, durable: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically; return the final path.
+
+    The temporary file is created in the destination directory (rename is
+    only atomic within one filesystem) and removed on any failure.  With
+    ``durable`` the payload is fsynced before the rename and the directory
+    entry after it.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(path.parent)
+    return path

@@ -1,40 +1,93 @@
 """Gauge-configuration storage (npz with metadata).
 
-Configurations carry their lattice geometry and arbitrary provenance
-metadata (coupling, trajectory number, plaquette stamp) so ensembles are
-self-describing, mirroring the ILDG-style headers of production storage.
+Configurations carry their lattice geometry, a CRC32 stamp of the link
+payload, and arbitrary provenance metadata (coupling, trajectory number,
+plaquette stamp) so ensembles are self-describing, mirroring the ILDG-style
+headers of production storage.  Writes are crash-consistent: the npz is
+serialised in memory and landed via :func:`repro.io.atomic.atomic_write_bytes`,
+so an interrupted save never leaves a truncated file under the final name.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.fields import GaugeField
+from repro.io.atomic import atomic_write_bytes
 from repro.lattice import Lattice4D
 
-__all__ = ["save_gauge", "load_gauge", "save_ensemble", "load_ensemble"]
+__all__ = [
+    "CorruptConfigError",
+    "save_gauge",
+    "load_gauge",
+    "save_ensemble",
+    "load_ensemble",
+]
 
 
-def save_gauge(path: str | Path, gauge: GaugeField, **metadata) -> None:
-    """Write one configuration with a JSON metadata header."""
+class CorruptConfigError(ValueError):
+    """A stored configuration failed validation (checksum, shape, container).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    old bare ``ValueError`` keep working.
+    """
+
+
+def _npz_path(path: str | Path) -> Path:
     path = Path(path)
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+
+
+def save_gauge(path: str | Path, gauge: GaugeField, **metadata) -> Path:
+    """Write one configuration atomically, with a JSON metadata header.
+
+    The header records the lattice shape and a CRC32 of the raw link bytes;
+    :func:`load_gauge` verifies both before handing the field back.
+    """
+    path = _npz_path(path)
     meta = dict(metadata)
     meta["shape"] = list(gauge.lattice.shape)
-    np.savez_compressed(path, u=gauge.u, meta=json.dumps(meta))
+    meta["crc32"] = zlib.crc32(np.ascontiguousarray(gauge.u).tobytes())
+    buf = io.BytesIO()
+    np.savez_compressed(buf, u=gauge.u, meta=json.dumps(meta))
+    return atomic_write_bytes(path, buf.getvalue())
 
 
 def load_gauge(path: str | Path) -> tuple[GaugeField, dict]:
-    """Read a configuration and its metadata."""
-    with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
-        u = data["u"]
-        meta = json.loads(str(data["meta"]))
+    """Read a configuration and its metadata.
+
+    Raises :class:`CorruptConfigError` when the container is truncated or
+    unreadable, when the stored links do not match the header shape, or
+    when the CRC32 stamp does not match the payload.
+    """
+    path = _npz_path(path)
+    try:
+        with np.load(path) as data:
+            u = data["u"]
+            meta = json.loads(str(data["meta"]))
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, KeyError, EOFError, OSError, ValueError) as e:
+        raise CorruptConfigError(f"unreadable configuration {path}: {e}") from e
     lattice = Lattice4D(tuple(meta.pop("shape")))
     expected = (4,) + lattice.shape + (3, 3)
     if u.shape != expected:
-        raise ValueError(f"stored links {u.shape} do not match header {expected}")
+        raise CorruptConfigError(
+            f"stored links {u.shape} do not match header {expected}"
+        )
+    crc = meta.pop("crc32", None)
+    if crc is not None:
+        actual = zlib.crc32(np.ascontiguousarray(u).tobytes())
+        if actual != crc:
+            raise CorruptConfigError(
+                f"checksum mismatch in {path}: header crc32={crc}, payload crc32={actual}"
+            )
     return GaugeField(lattice, u), meta
 
 

@@ -1,0 +1,193 @@
+"""Run, resume, and inspect fault-tolerant campaigns.
+
+Usage::
+
+    # start (or resume — same command) a checkpointed HMC stream
+    python -m repro.tools.run_campaign run --dir ./camp \\
+        --shape 4 4 4 4 --beta 5.6 --trajectories 50 --checkpoint-interval 5
+
+    # journaled measurement sweep over a stored ensemble
+    python -m repro.tools.run_campaign measure --dir ./meas \\
+        --ensemble ./ensemble --observable plaquette
+
+    # what happened so far?
+    python -m repro.tools.run_campaign status --dir ./camp
+
+A rerun of the exact ``run`` command after a crash (or SIGKILL) resumes
+from the last good checkpoint and produces a ledger bit-for-bit identical
+to an uninterrupted run.  ``--crash-after K`` SIGKILLs the driver before
+trajectory ``K`` — the fault-injection hook the crash-resume CI leg uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignConfig,
+    FaultPlan,
+    HMCCampaign,
+    MEASUREMENTS,
+    MeasurementCampaign,
+    RetryPolicy,
+    run_resilient,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start or resume a checkpointed HMC stream")
+    run.add_argument("--dir", type=Path, required=True, help="campaign directory")
+    run.add_argument("--shape", type=int, nargs=4, metavar=("T", "Z", "Y", "X"))
+    run.add_argument("--beta", type=float, help="Wilson gauge coupling")
+    run.add_argument("--trajectories", type=int, help="total trajectories to reach")
+    run.add_argument("--step-size", type=float, default=0.1)
+    run.add_argument("--n-steps", type=int, default=10)
+    run.add_argument("--integrator", default="leapfrog")
+    run.add_argument("--seed", type=int, default=12345)
+    run.add_argument("--start", choices=("hot", "cold"), default="hot")
+    run.add_argument("--checkpoint-interval", type=int, default=5)
+    run.add_argument("--keep-checkpoints", type=int, default=3)
+    run.add_argument("--max-retries", type=int, default=3)
+    run.add_argument(
+        "--crash-after",
+        type=int,
+        metavar="K",
+        help="fault injection: SIGKILL this process before trajectory K",
+    )
+    run.add_argument("--quiet", action="store_true")
+
+    meas = sub.add_parser("measure", help="journaled measurement sweep")
+    meas.add_argument("--dir", type=Path, required=True, help="campaign directory")
+    meas.add_argument("--ensemble", type=Path, required=True, help="cfg_*.npz directory")
+    meas.add_argument(
+        "--observable", default="plaquette", choices=sorted(MEASUREMENTS)
+    )
+    meas.add_argument("--quiet", action="store_true")
+
+    stat = sub.add_parser("status", help="summarise ledger and checkpoints")
+    stat.add_argument("--dir", type=Path, required=True, help="campaign directory")
+    return p
+
+
+def _cmd_run(args) -> int:
+    config = None
+    if args.shape is not None or args.beta is not None or args.trajectories is not None:
+        if args.shape is None or args.beta is None or args.trajectories is None:
+            raise SystemExit(
+                "either give --shape, --beta and --trajectories together, "
+                "or none of them (resume from an existing campaign directory)"
+            )
+        config = CampaignConfig(
+            shape=tuple(args.shape),
+            beta=args.beta,
+            n_trajectories=args.trajectories,
+            step_size=args.step_size,
+            n_steps=args.n_steps,
+            integrator=args.integrator,
+            seed=args.seed,
+            start=args.start,
+            checkpoint_interval=args.checkpoint_interval,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+    campaign = HMCCampaign(args.dir, config)
+    fault = None
+    if args.crash_after is not None:
+        fault = FaultPlan().sigkill_at(args.crash_after)
+
+    progress = None
+    if not args.quiet:
+        def progress(step, result):  # noqa: E306 - tiny CLI callback
+            flag = "acc" if result.accepted else "rej"
+            print(
+                f"traj {step:5d}: {flag}  dH={result.delta_h:+.3e}  "
+                f"plaq={result.plaquette:.6f}"
+            )
+
+    summary = run_resilient(
+        campaign,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        fault=fault,
+        on_failure=lambda n, e: print(f"attempt {n} failed: {e}; resuming"),
+        progress=progress,
+    )
+    resumed = (
+        f"resumed from trajectory {summary.resumed_from}"
+        if summary.resumed_from is not None
+        else "fresh start"
+    )
+    print(
+        f"campaign complete: {summary.n_trajectories} trajectories ({resumed}), "
+        f"acceptance {summary.acceptance_rate:.2f}, "
+        f"final plaquette {summary.final_plaquette:.6f}"
+    )
+    if summary.skipped_checkpoints:
+        print(f"warning: skipped {summary.skipped_checkpoints} corrupt checkpoint(s)")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    campaign = MeasurementCampaign(args.ensemble, args.dir, measure=args.observable)
+    progress = None
+    if not args.quiet:
+        def progress(i, record):  # noqa: E306 - tiny CLI callback
+            values = {
+                k: v
+                for k, v in record.items()
+                if k not in ("step", "kind", "config", "measure")
+            }
+            print(f"cfg {i:4d} ({record['config']}): {values}")
+
+    records = campaign.run(progress=progress)
+    print(f"measured {len(records)} configurations -> {campaign.ledger.path}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    directory = Path(args.dir)
+    cfg_path = directory / "campaign.json"
+    if cfg_path.exists():
+        print(f"config: {json.dumps(json.loads(cfg_path.read_text()), sort_keys=True)}")
+    from repro.campaign import CheckpointStore, Ledger
+
+    for name in ("ledger.jsonl", "measurements.jsonl"):
+        ledger = Ledger(directory / name)
+        records = ledger.records()
+        if records:
+            last = records[-1]
+            print(f"{name}: {len(records)} records, last step {last['step']}")
+            if "plaquette" in last:
+                print(f"  last plaquette: {last['plaquette']:.6f}")
+    ckpt_dir = directory / "checkpoints"
+    if ckpt_dir.is_dir():
+        store = CheckpointStore(ckpt_dir)
+        steps = store.steps()
+        print(f"checkpoints: {steps}")
+        latest = store.latest()
+        if latest is not None:
+            step, _, meta = latest
+            print(
+                f"latest good: step {step}, plaquette {meta.get('plaquette', float('nan')):.6f}"
+            )
+        for path, reason in store.skipped:
+            print(f"  skipped corrupt: {path.name} ({reason})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "measure":
+        return _cmd_measure(args)
+    return _cmd_status(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,7 @@ Every stochastic routine in the library takes an explicit
 ``None | int | Generator`` argument convention.
 """
 
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import ensure_rng, spawn_rngs, rng_state, restore_rng
 from repro.util.timing import Timer, StopWatch
 from repro.util.flops import FlopCounter, WILSON_DSLASH_FLOPS_PER_SITE
 from repro.util.report import Table, format_si, format_bytes
@@ -13,6 +13,8 @@ from repro.util.report import Table, format_si, format_bytes
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "rng_state",
+    "restore_rng",
     "Timer",
     "StopWatch",
     "FlopCounter",

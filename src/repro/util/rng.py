@@ -3,13 +3,20 @@
 The library never touches module-level numpy random state.  Functions that
 need randomness accept ``rng: None | int | numpy.random.Generator`` and call
 :func:`ensure_rng` exactly once at their entry point.
+
+For checkpoint/restart, :func:`rng_state` / :func:`restore_rng` round-trip
+the full bit-generator state through a JSON-serialisable dict, so a resumed
+stream continues *bit-for-bit* where the interrupted one stopped — the
+foundation of the campaign layer's exact-resume guarantee.
 """
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "rng_state", "restore_rng"]
 
 
 def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
@@ -34,3 +41,29 @@ def spawn_rngs(rng: np.random.Generator | int | None, n: int) -> list[np.random.
     base = ensure_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Serialise a generator's full state to a JSON-safe dict.
+
+    The dict is the bit generator's own ``state`` mapping (class name plus
+    integer words; Python ints are arbitrary precision, so JSON holds the
+    128-bit PCG64 state exactly).  Feed it to :func:`restore_rng`.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator from :func:`rng_state` output.
+
+    The restored generator produces exactly the variate stream the saved
+    one would have produced next.
+    """
+    name = state.get("bit_generator")
+    try:
+        bg_cls = getattr(np.random, name)
+    except (TypeError, AttributeError):
+        raise ValueError(f"unknown bit generator in RNG state: {name!r}") from None
+    bg = bg_cls()
+    bg.state = copy.deepcopy(state)
+    return np.random.Generator(bg)

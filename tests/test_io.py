@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.fields import GaugeField
-from repro.io import load_ensemble, load_gauge, save_ensemble, save_gauge
+from repro.io import (
+    CorruptConfigError,
+    load_ensemble,
+    load_gauge,
+    save_ensemble,
+    save_gauge,
+)
 from repro.lattice import Lattice4D
 
 
@@ -53,3 +59,55 @@ class TestConfigIO:
         (tmp_path / "empty").mkdir()
         with pytest.raises(FileNotFoundError):
             load_ensemble(tmp_path / "empty")
+
+
+class TestCrashConsistency:
+    """save_gauge writes atomically; load_gauge never returns garbage."""
+
+    def test_save_leaves_no_temp_files(self, tmp_path, tiny_lattice):
+        save_gauge(tmp_path / "cfg.npz", GaugeField.cold(tiny_lattice))
+        assert [p.name for p in tmp_path.iterdir()] == ["cfg.npz"]
+
+    def test_truncated_file_raises_corrupt_config(self, tmp_path, tiny_lattice):
+        path = tmp_path / "cfg.npz"
+        save_gauge(path, GaugeField.hot(tiny_lattice, rng=3))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # interrupted write, pre-hardening
+        with pytest.raises(CorruptConfigError):
+            load_gauge(path)
+
+    def test_bitflip_fails_checksum(self, tmp_path, tiny_lattice):
+        g = GaugeField.hot(tiny_lattice, rng=4)
+        path = tmp_path / "cfg.npz"
+        # Store uncompressed so a payload flip cannot hide behind zlib errors.
+        import io as _io
+        import json as _json
+        import zlib as _zlib
+
+        meta = {
+            "shape": list(tiny_lattice.shape),
+            "crc32": _zlib.crc32(np.ascontiguousarray(g.u).tobytes()),
+        }
+        buf = _io.BytesIO()
+        np.savez(buf, u=g.u, meta=_json.dumps(meta))
+        blob = bytearray(buf.getvalue())
+        blob[len(blob) // 2] ^= 0x01  # one flipped bit somewhere in the payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptConfigError):
+            load_gauge(path)
+
+    def test_corrupt_error_is_a_value_error(self):
+        assert issubclass(CorruptConfigError, ValueError)
+
+    def test_legacy_file_without_crc_still_loads(self, tmp_path, tiny_lattice):
+        import json as _json
+
+        g = GaugeField.hot(tiny_lattice, rng=5)
+        np.savez_compressed(
+            tmp_path / "old.npz",
+            u=g.u,
+            meta=_json.dumps({"shape": list(tiny_lattice.shape), "beta": 5.7}),
+        )
+        loaded, meta = load_gauge(tmp_path / "old.npz")
+        assert np.array_equal(loaded.u, g.u)
+        assert meta == {"beta": 5.7}
