@@ -1,0 +1,25 @@
+"""E17 — overhead of SDC guards on the Dslash and solver hot paths."""
+
+from __future__ import annotations
+
+from repro.bench.e17_guard import e17_guard_overhead
+
+
+def test_e17_guard_overhead(benchmark, show):
+    table, rows = benchmark.pedantic(e17_guard_overhead, rounds=1, iterations=1)
+    show(table, "e17_guard.txt", extra={"rows": rows})
+    # The acceptance bar: amortised ABFT detection on the fused Dslash path
+    # must cost less than 15% — cheap enough to leave on in production.
+    detect = next(
+        r for r in rows if r["path"] == "dslash-fused" and r["level"] == "detect"
+    )
+    assert detect["overhead_pct"] < 15.0
+    # "off" must be transparent on both paths (identical arithmetic; only
+    # measurement noise separates it from the bare baseline).
+    for r in rows:
+        if r["level"] == "off":
+            assert abs(r["overhead_pct"]) < 10.0
+    # Guarded CG on clean data must take the same iteration count at every
+    # level — the replay verifies, it never perturbs the recurrence.
+    cg_iters = {r["iterations"] for r in rows if r["path"] == "cg-normal"}
+    assert len(cg_iters) == 1

@@ -1,0 +1,134 @@
+"""E17 — guard overhead: what does SDC protection cost on the hot paths?
+
+Two measurements, one per guarded hot path, each at all three
+``REPRO_GUARD`` levels on *clean* (unfaulted) data — the steady-state
+price of running protected:
+
+* **Dslash (fused kernel)** — batches of forward applications through a
+  bare operator versus :class:`~repro.guard.GuardedOperator`, whose ABFT
+  probes (link checksums + linearity) fire every ``probe_interval``
+  applies.  The amortised overhead of ``detect`` must stay under 15 % —
+  the acceptance bar for leaving guards on in production streams.
+* **Solver (defensive CG)** — the E4 normal-equations solve with the
+  guard's periodic true-residual replay and stagnation tracking enabled,
+  versus the unguarded hot loop (which is arithmetic-identical when the
+  guard is off).
+
+``heal`` costs the same as ``detect`` on clean data (healing only runs
+when a probe trips), so its row doubles as a sanity check on the
+measurement noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dirac import WilsonDirac
+from repro.fields import GaugeField, random_fermion
+from repro.guard import GUARD_LEVELS, GuardPolicy, GuardedOperator
+from repro.lattice import Lattice4D
+from repro.solvers import cg
+from repro.util import Table
+
+__all__ = ["e17_guard_overhead"]
+
+
+def _time_apply_batch(op, psi: np.ndarray, out: np.ndarray, n_applies: int) -> float:
+    """Wall time of one batch of ``n_applies`` calls."""
+    t0 = time.perf_counter()
+    for _ in range(n_applies):
+        op(psi, out=out)
+    return time.perf_counter() - t0
+
+
+def e17_guard_overhead(
+    shape: tuple[int, int, int, int] = (8, 8, 8, 4),
+    solver_shape: tuple[int, int, int, int] = (8, 8, 4, 4),
+    mass: float = 0.1,
+    tol: float = 1e-8,
+    n_applies: int = 128,
+    probe_interval: int = 64,
+    repeats: int = 3,
+    seed: int = 17,
+) -> tuple[Table, list[dict]]:
+    """Measure off/detect/heal overhead on the Dslash and CG paths."""
+    rows: list[dict] = []
+
+    # -- Dslash path: fused kernel, bare vs ABFT-wrapped ----------------------
+    # All configurations are timed *interleaved* (bare, off, detect, heal
+    # within each repeat) and reduced best-of-repeats, so slow phases of a
+    # noisy shared host hit every configuration alike instead of biasing
+    # whichever one happened to run during them.
+    lat = Lattice4D(shape)
+    gauge = GaugeField.hot(lat, rng=seed)
+    psi = random_fermion(lat, rng=seed + 1)
+    out = np.empty_like(psi)
+    ops = {"bare": WilsonDirac(gauge, mass, kernel="fused")}
+    for level in GUARD_LEVELS:
+        policy = GuardPolicy(level=level, probe_interval=probe_interval)
+        ops[level] = GuardedOperator(WilsonDirac(gauge, mass, kernel="fused"), policy)
+    for op in ops.values():
+        op(psi, out=out)  # warm-up: workspace, caches, first probe bucket
+    best = {name: float("inf") for name in ops}
+    for _ in range(max(1, repeats)):
+        for name, op in ops.items():
+            t = _time_apply_batch(op, psi, out, n_applies)
+            best[name] = min(best[name], t)
+    bare_s = best["bare"]
+    for level in GUARD_LEVELS:
+        t = best[level]
+        rows.append(
+            {
+                "path": "dslash-fused",
+                "level": level,
+                "seconds": t,
+                "baseline_s": bare_s,
+                "overhead_pct": 100.0 * (t - bare_s) / bare_s,
+                "n_applies": n_applies,
+                "probe_interval": probe_interval,
+                "iterations": None,
+            }
+        )
+
+    # -- Solver path: defensive CG on the E4 normal-equations system ----------
+    slat = Lattice4D(solver_shape)
+    sgauge = GaugeField.warm(slat, eps=0.3, rng=seed + 2)
+    sdirac = WilsonDirac(sgauge, mass)
+    nop = sdirac.normal_op()
+    rhs = sdirac.apply_dagger(random_fermion(slat, rng=seed + 3))
+    cg(nop, rhs, tol=tol, max_iter=50000, guard="off")  # warm-up
+    solver_best = {level: float("inf") for level in GUARD_LEVELS}
+    solver_iters = {}
+    for _ in range(max(1, repeats)):
+        for level in GUARD_LEVELS:  # interleaved, same rationale as above
+            t0 = time.perf_counter()
+            res = cg(nop, rhs, tol=tol, max_iter=50000, guard=level)
+            solver_best[level] = min(solver_best[level], time.perf_counter() - t0)
+            solver_iters[level] = res.iterations
+    base_solver_s = solver_best["off"]
+    for level in GUARD_LEVELS:
+        rows.append(
+            {
+                "path": "cg-normal",
+                "level": level,
+                "seconds": solver_best[level],
+                "baseline_s": base_solver_s,
+                "overhead_pct": 100.0
+                * (solver_best[level] - base_solver_s)
+                / base_solver_s,
+                "n_applies": None,
+                "probe_interval": None,
+                "iterations": solver_iters[level],
+            }
+        )
+
+    table = Table(
+        f"E17 — guard overhead on clean data ({'x'.join(map(str, shape))} Dslash, "
+        f"{'x'.join(map(str, solver_shape))} CG, probe every {probe_interval})",
+        ["path", "guard", "wall [s]", "overhead [%]"],
+    )
+    for r in rows:
+        table.add_row([r["path"], r["level"], r["seconds"], r["overhead_pct"]])
+    return table, rows

@@ -16,7 +16,8 @@ the durability layer that makes long runs safe to start:
     (teardown → backoff → restart from last good checkpoint);
 :mod:`repro.campaign.faults`
     deterministic fault injection — crash/SIGKILL the driver, kill a ShmComm
-    rank, delay/drop acks, corrupt checkpoints.
+    rank, delay/drop acks, corrupt checkpoints, and silent in-memory bit
+    flips (gauge links, spinors, solver scratch) for the guard layer.
 
 The headline guarantee (enforced by tests): a SIGKILL at any trajectory
 boundary loses at most one checkpoint interval, and the resumed campaign's
@@ -32,10 +33,12 @@ from repro.campaign.checkpoint import (
     write_checkpoint,
 )
 from repro.campaign.faults import (
+    FaultedOperator,
     FaultInjector,
     FaultPlan,
     InjectedCrash,
     corrupt_checkpoint,
+    flip_bit,
 )
 from repro.campaign.ledger import Ledger, LedgerError
 from repro.campaign.runner import (
@@ -58,6 +61,7 @@ __all__ = [
     "CommFault",
     "ConfigMismatchError",
     "CorruptCheckpointError",
+    "FaultedOperator",
     "FaultInjector",
     "FaultPlan",
     "HMCCampaign",
@@ -68,6 +72,7 @@ __all__ = [
     "MeasurementCampaign",
     "RetryPolicy",
     "corrupt_checkpoint",
+    "flip_bit",
     "read_checkpoint",
     "run_resilient",
     "write_checkpoint",

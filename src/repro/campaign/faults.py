@@ -15,6 +15,12 @@ are exact rather than probabilistic:
 * **Storage faults** (:func:`corrupt_checkpoint`): truncate a checkpoint,
   flip payload bytes (CRC mismatch), or stamp a wrong version/magic, to
   prove the store falls back to the previous good checkpoint.
+* **Silent data corruption** (:func:`flip_bit`, :meth:`FaultPlan.
+  flip_gauge_bit_at`, :class:`FaultedOperator`): deterministic in-memory
+  bit flips in gauge links, spinors, or a solver's operator stream — the
+  faults the :mod:`repro.guard` layer exists to catch.  ``flip_bit`` is
+  XOR-based and therefore self-inverse: applying it twice restores the
+  original bits exactly.
 """
 
 from __future__ import annotations
@@ -25,14 +31,81 @@ import signal
 import struct
 from pathlib import Path
 
+import numpy as np
+
 from repro.campaign.checkpoint import CHECKPOINT_MAGIC
+from repro.dirac.operator import LinearOperator
 
 __all__ = [
     "InjectedCrash",
     "FaultPlan",
     "FaultInjector",
+    "FaultedOperator",
     "corrupt_checkpoint",
+    "flip_bit",
 ]
+
+
+def flip_bit(arr: np.ndarray, flat_index: int, bit: int = 52) -> None:
+    """XOR one bit of one float64 word of ``arr`` in place (deterministic).
+
+    ``arr`` may be real or complex float64 — the buffer is reinterpreted as
+    uint64 words, so a complex array exposes two words per element.  The
+    default ``bit=52`` flips the lowest exponent bit: the value doubles (or
+    halves), staying finite, which models the nastiest real-world SDC — a
+    silently wrong number that every downstream computation digests without
+    complaint.  ``bit=62`` (top exponent bit) instead produces a ~1e307
+    outlier that overflows downstream arithmetic.  Self-inverse: flipping
+    the same bit twice restores the original bits.
+    """
+    words = arr.reshape(-1).view(np.uint64)
+    words[flat_index % words.size] ^= np.uint64(1) << np.uint64(bit)
+
+
+class FaultedOperator(LinearOperator):
+    """Wrap an operator and flip one bit of its output at one application.
+
+    Models transient corruption of solver scratch / spinor data in the
+    middle of a Krylov solve: the ``at_apply``-th application (counting
+    both forward and dagger, 1-based) returns a silently corrupted field,
+    every other application is untouched.  Used by the guard tests to prove
+    the true-residual replay catches what the recurrence cannot see.
+    """
+
+    def __init__(
+        self,
+        op: LinearOperator,
+        at_apply: int,
+        flat_index: int = 0,
+        bit: int = 52,
+    ) -> None:
+        super().__init__()
+        self.op = op
+        self.at_apply = int(at_apply)
+        self.flat_index = int(flat_index)
+        self.bit = int(bit)
+        self.fired = False
+        self.flops_per_apply = op.flops_per_apply
+        self._applications = 0
+
+    def _maybe_corrupt(self, out: np.ndarray) -> np.ndarray:
+        self._applications += 1
+        if not self.fired and self._applications == self.at_apply:
+            self.fired = True
+            flip_bit(out, self.flat_index, self.bit)
+        return out
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self._maybe_corrupt(self.op.apply(x))
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        return self._maybe_corrupt(self.op.apply_dagger(x))
+
+    def apply_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return self._maybe_corrupt(self.op.apply_into(x, out))
+
+    def apply_dagger_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return self._maybe_corrupt(self.op.apply_dagger_into(x, out))
 
 
 class InjectedCrash(RuntimeError):
@@ -74,7 +147,27 @@ class FaultPlan:
         )
         return self
 
-    def fire(self, step: int, comm=None, store=None) -> None:
+    def flip_gauge_bit_at(
+        self, step: int, flat_index: int = 0, bit: int = 52
+    ) -> "FaultPlan":
+        """Flip one bit of the in-memory gauge field just before ``step``.
+
+        The silent-data-corruption fault: nothing raises, the stream keeps
+        producing plausible-looking numbers.  Only a guard (or a divergent
+        ledger) exposes it.  See :func:`flip_bit` for the bit semantics.
+        """
+        self._faults.append(
+            {
+                "kind": "flip_gauge",
+                "step": int(step),
+                "index": int(flat_index),
+                "bit": int(bit),
+                "fired": False,
+            }
+        )
+        return self
+
+    def fire(self, step: int, comm=None, store=None, gauge=None) -> None:
         """Fire (and consume) every unfired fault scheduled for ``step``."""
         for f in self._faults:
             if f["fired"] or f["step"] != step:
@@ -99,6 +192,12 @@ class FaultPlan:
                 steps = store.steps()
                 if steps:
                     corrupt_checkpoint(store.path_for(steps[-1]), f["mode"])
+            elif kind == "flip_gauge":
+                if gauge is None:
+                    raise InjectedCrash(
+                        f"flip_gauge fault at step {step} but no gauge field attached"
+                    )
+                flip_bit(gauge.u, f["index"], f["bit"])
 
 
 class FaultInjector:

@@ -34,6 +34,13 @@ from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.faults import FaultPlan, InjectedCrash
 from repro.campaign.ledger import Ledger
 from repro.fields import GaugeField
+from repro.guard import (
+    GuardPolicy,
+    SDCDetected,
+    UnitarityViolation,
+    inspect_gauge,
+    resolve_policy,
+)
 from repro.hmc import HMC, WilsonGaugeAction
 from repro.io import atomic_write_bytes, load_gauge
 from repro.lattice import Lattice4D
@@ -114,6 +121,8 @@ class CampaignSummary:
     final_plaquette: float
     skipped_checkpoints: int
     retries: int = 0
+    faults_detected: int = 0
+    rollbacks: int = 0
 
 
 class HMCCampaign:
@@ -193,11 +202,41 @@ class HMCCampaign:
 
     # -- the driver loop ------------------------------------------------------
 
+    def _journal_fault(self, step: int, record: dict) -> None:
+        """Append an SDC fault record to the side journal ``faults.jsonl``.
+
+        Fault records deliberately do NOT go into the main ledger: the
+        ledger must stay bit-for-bit identical to an unfaulted run's after
+        a successful heal, which is the reproducibility contract the guard
+        tests enforce.
+        """
+        Ledger(self.directory / "faults.jsonl").append({"step": step, **record})
+
+    def _rollback(self, step: int) -> tuple[GaugeField, HMC, int]:
+        """Restore the last good checkpoint (or the fresh start) and truncate
+        the ledger to it.  Returns the state to resume from.
+
+        This — not SU(3) reprojection — is the campaign-level heal:
+        reprojection restores validity but not the original bits, while the
+        exact-resume contract (gauge + RNG + counters) makes the replayed
+        stream bit-for-bit identical to an unfaulted one.
+        """
+        latest = self.store.latest()
+        if latest is None:
+            gauge, hmc = self._fresh()
+            good = 0
+        else:
+            good, arrays, meta = latest
+            gauge, hmc = self._restore(arrays, meta)
+        self.ledger.truncate_to(good)
+        return gauge, hmc, good
+
     def run(
         self,
         fault: FaultPlan | None = None,
         comm=None,
         progress=None,
+        guard: GuardPolicy | str | None = None,
     ) -> CampaignSummary:
         """Run (or resume) the stream to ``n_trajectories`` completed.
 
@@ -207,8 +246,15 @@ class HMCCampaign:
         a hang.  ``fault`` is a :class:`~repro.campaign.faults.FaultPlan`
         fired at trajectory boundaries.  ``progress`` is called with
         ``(step, TrajectoryResult)`` after each trajectory.
+
+        ``guard`` (``REPRO_GUARD``-resolved when None) adds a gauge
+        inspection at every trajectory boundary.  On corruption, ``detect``
+        raises :class:`~repro.guard.SDCDetected` and ``heal`` rolls back to
+        the last good checkpoint — recording the incident in
+        ``faults.jsonl`` either way.
         """
         cfg = self.config
+        policy = resolve_policy(guard)
         latest = self.store.latest()
         if latest is None:
             gauge, hmc = self._fresh()
@@ -226,9 +272,13 @@ class HMCCampaign:
             # Work journaled after the restart checkpoint will be redone.
             self.ledger.truncate_to(start_step)
 
-        for step in range(start_step, cfg.n_trajectories):
+        faults_detected = 0
+        rollbacks = 0
+        max_rollbacks = 8  # persistent-corruption backstop, not a tuning knob
+        step = start_step
+        while step < cfg.n_trajectories:
             if fault is not None:
-                fault.fire(step, comm=comm, store=self.store)
+                fault.fire(step, comm=comm, store=self.store, gauge=gauge)
             if comm is not None and not getattr(comm, "healthy", True):
                 dead = [
                     r for r, ok in enumerate(comm.workers_alive()) if not ok
@@ -237,6 +287,29 @@ class HMCCampaign:
                     f"communicator unhealthy before trajectory {step}"
                     + (f" (dead ranks: {dead})" if dead else "")
                 )
+            if policy.enabled:
+                report = inspect_gauge(gauge.u, policy, context=f"trajectory:{step}")
+                if not report.ok:
+                    faults_detected += 1
+                    action = "rollback" if policy.heal else "detect"
+                    self._journal_fault(
+                        step, {"kind": "sdc", "action": action, **report.as_record()}
+                    )
+                    if not policy.heal:
+                        exc = UnitarityViolation if report.n_bad_links else SDCDetected
+                        raise exc(
+                            f"gauge corruption before trajectory {step}: "
+                            f"{report.n_bad_links} bad link(s), plaquette range "
+                            f"[{report.plaquette_min:.6f}, {report.plaquette_max:.6f}]"
+                        )
+                    rollbacks += 1
+                    if rollbacks > max_rollbacks:
+                        raise SDCDetected(
+                            f"corruption persists after {max_rollbacks} rollbacks "
+                            f"(step {step})"
+                        )
+                    gauge, hmc, step = self._rollback(step)
+                    continue
             result = hmc.trajectory(gauge)
             if (step + 1) % cfg.reunit_interval == 0:
                 gauge.reunitarize()
@@ -253,6 +326,7 @@ class HMCCampaign:
                 self._checkpoint(step + 1, gauge, hmc)
             if progress is not None:
                 progress(step, result)
+            step += 1
 
         return CampaignSummary(
             n_trajectories=cfg.n_trajectories,
@@ -260,6 +334,8 @@ class HMCCampaign:
             acceptance_rate=hmc.acceptance_rate,
             final_plaquette=float(average_plaquette(gauge.u)),
             skipped_checkpoints=len(self.store.skipped),
+            faults_detected=faults_detected,
+            rollbacks=rollbacks,
         )
 
 
@@ -330,7 +406,14 @@ class MeasurementCampaign:
             self._measure = MEASUREMENTS[measure]
             self.measure_name = measure
 
-    def run(self, fault: FaultPlan | None = None, progress=None) -> list[dict]:
+    def run(
+        self,
+        fault: FaultPlan | None = None,
+        comm=None,
+        progress=None,
+        guard: GuardPolicy | str | None = None,
+    ) -> list[dict]:
+        policy = resolve_policy(guard)
         paths = sorted(self.ensemble_dir.glob("cfg_*.npz"))
         if not paths:
             raise FileNotFoundError(f"no cfg_*.npz files in {self.ensemble_dir}")
@@ -340,7 +423,7 @@ class MeasurementCampaign:
                 continue
             if fault is not None:
                 fault.fire(i)
-            gauge, meta = load_gauge(path)
+            gauge, meta = load_gauge(path, guard=policy)
             values = self._measure(gauge, meta)
             record = {
                 "step": i,
@@ -379,6 +462,7 @@ def run_resilient(
     sleep=time.sleep,
     on_failure=None,
     progress=None,
+    guard: GuardPolicy | str | None = None,
 ) -> CampaignSummary:
     """Supervise ``campaign.run`` through faults: teardown, back off, resume.
 
@@ -388,13 +472,20 @@ def run_resilient(
     resources.  A failing attempt resumes from the last good checkpoint; a
     fault that persists past ``retry.max_retries`` attempts re-raises.
     ``on_failure`` is called with ``(attempt, exception)`` per failure.
+
+    Guard faults compose naturally: :class:`~repro.guard.SDCDetected` is a
+    ``RuntimeError``, so a ``detect``-level campaign that trips a guard is
+    torn down and resumed from its last good checkpoint here — supervisor-
+    level healing even without ``REPRO_GUARD=heal``.
     """
     retry = retry if retry is not None else RetryPolicy()
     failures = 0
     while True:
         comm = comm_factory() if comm_factory is not None else None
         try:
-            summary = campaign.run(fault=fault, comm=comm, progress=progress)
+            summary = campaign.run(
+                fault=fault, comm=comm, progress=progress, guard=guard
+            )
             summary.retries = failures
             return summary
         except (CommFault, InjectedCrash, RuntimeError) as e:

@@ -379,6 +379,21 @@ class ShmComm:
         """Master-side views of an allocated shared block set."""
         return self._blocks[key][2]
 
+    def block_checksums(self, key: str) -> list[int]:
+        """Per-rank CRC32 of a shared block set's current bytes.
+
+        The ABFT guard layer (:mod:`repro.guard.abft`) compares these
+        against encode-time values to localise silent corruption of the
+        shared link halos to a rank.  Master-side read only; the workers
+        are not involved, so this is safe to call between commands.
+        """
+        import zlib
+
+        self._check_open()
+        return [
+            zlib.crc32(np.ascontiguousarray(view)) for view in self._blocks[key][2]
+        ]
+
     def exchange_shared(
         self,
         key: str,

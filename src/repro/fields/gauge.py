@@ -86,6 +86,13 @@ class GaugeField:
     def unitarity_violation(self) -> float:
         return su3.unitarity_violation(self.u)
 
+    def unitarity_drift(self) -> np.ndarray:
+        """Per-link ``max |u^dagger u - 1|`` map, shape ``(4, T, Z, Y, X)``.
+
+        The localised form of :meth:`unitarity_violation`; the guard layer
+        uses it to find (and reproject) individual corrupted links."""
+        return su3.unitarity_drift(self.u)
+
     def mu(self, mu: int) -> np.ndarray:
         """The link field along direction ``mu`` (view, not copy)."""
         return self.u[mu]

@@ -1,0 +1,67 @@
+"""Silent-data-corruption guards and self-healing numerics.
+
+Defense-in-depth against the failure mode the crash/restart layer (PR 3)
+cannot see: a bit flip that raises no exception and silently shifts the
+physics.  Four rings, outermost first:
+
+1. **Gauge guards** (:mod:`repro.guard.gauge`) — per-link SU(3) unitarity
+   drift and plaquette bounds, run at trajectory boundaries and on
+   ``load_gauge``; heal = SU(3) reprojection of the flagged links.
+2. **ABFT probes** (:mod:`repro.guard.abft`) — link checksums and
+   linearity probes on the Dslash hot path, sampled every N applications.
+3. **Defensive solvers** (:mod:`repro.solvers`) — unconditional NaN/Inf
+   fail-fast, plus guarded true-residual replay with reliable updates,
+   stagnation detection and precision escalation in ``cg`` / ``mixed`` /
+   ``cg_spmd``.
+4. **Campaign rollback** (:mod:`repro.campaign`) — on :class:`SDCDetected`
+   the campaign driver rolls back to the last good checkpoint, which is
+   the only heal that preserves bit-for-bit reproducibility.
+
+Everything is keyed off one :class:`GuardPolicy` (``off`` / ``detect`` /
+``heal``), selectable per call or globally via ``REPRO_GUARD``.
+"""
+
+from repro.guard.errors import (
+    NumericalFault,
+    SDCDetected,
+    SolverStagnation,
+    UnitarityViolation,
+)
+from repro.guard.policy import (
+    GUARD_ENV_VAR,
+    GUARD_LEVELS,
+    GuardPolicy,
+    resolve_guard_level,
+    resolve_policy,
+)
+from repro.guard.gauge import (
+    PLAQUETTE_RANGE,
+    GaugeGuardReport,
+    check_gauge,
+    heal_gauge,
+    inspect_gauge,
+)
+from repro.guard.solver import StagnationDetector, require_finite
+from repro.guard.abft import GuardedOperator, LinkChecksum, linearity_probe
+
+__all__ = [
+    "NumericalFault",
+    "SDCDetected",
+    "SolverStagnation",
+    "UnitarityViolation",
+    "GUARD_ENV_VAR",
+    "GUARD_LEVELS",
+    "GuardPolicy",
+    "resolve_guard_level",
+    "resolve_policy",
+    "PLAQUETTE_RANGE",
+    "GaugeGuardReport",
+    "check_gauge",
+    "heal_gauge",
+    "inspect_gauge",
+    "StagnationDetector",
+    "require_finite",
+    "GuardedOperator",
+    "LinkChecksum",
+    "linearity_probe",
+]

@@ -1,0 +1,75 @@
+"""Structured error taxonomy for silent-data-corruption defense.
+
+Every guard in the stack raises one of these so callers can distinguish
+"the algorithm broke down" from "the data is corrupt" and route recovery
+accordingly (the campaign layer rolls back to the last good checkpoint on
+:class:`SDCDetected`; a solver caller may retry at higher precision on
+:class:`SolverStagnation`).
+
+All faults subclass :class:`NumericalFault`, which subclasses
+``RuntimeError`` — so the :func:`repro.campaign.run_resilient` supervisor's
+existing retry loop treats a detected fault like any other transient
+failure: tear down, back off, resume from the last good checkpoint.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NumericalFault",
+    "SDCDetected",
+    "SolverStagnation",
+    "UnitarityViolation",
+]
+
+
+class NumericalFault(RuntimeError):
+    """A numerical invariant broke: NaN/Inf residual, non-finite reduction.
+
+    Carries the context a defensive solver has when it fails fast:
+    which solver, at which iteration, and the last *finite* relative
+    residual seen before things went non-finite.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        solver: str = "",
+        iteration: int | None = None,
+        last_residual: float | None = None,
+    ) -> None:
+        detail = []
+        if solver:
+            detail.append(f"solver={solver}")
+        if iteration is not None:
+            detail.append(f"iteration={iteration}")
+        if last_residual is not None:
+            detail.append(f"last finite |r|/|b|={last_residual:.3e}")
+        if detail:
+            message = f"{message} ({', '.join(detail)})"
+        super().__init__(message)
+        self.solver = solver
+        self.iteration = iteration
+        self.last_residual = last_residual
+
+
+class SDCDetected(NumericalFault):
+    """Silent data corruption caught by a guard (checksum, probe, replay).
+
+    The defining property: the computation raised no exception on its own —
+    only the cross-check (true-residual replay, ABFT linearity probe, link
+    checksum, plaquette bound) exposed the corruption.
+    """
+
+
+class SolverStagnation(NumericalFault):
+    """A Krylov solver stopped making progress far above its tolerance."""
+
+
+class UnitarityViolation(SDCDetected):
+    """Gauge links drifted off the SU(3) manifold beyond the guard bound.
+
+    A unitary link can only leave the group through roundoff accumulation
+    (slow, caught early) or memory corruption (a bit flip lands the link far
+    outside the tolerance in one step) — so this is classified as SDC.
+    """

@@ -1,0 +1,196 @@
+"""Gauge-field guards: SU(3) unitarity drift and plaquette bounds.
+
+Two cheap invariants catch essentially every single-bit corruption of a
+link field:
+
+* every link must satisfy ``u^dagger u = 1`` to roundoff (a bit flip in any
+  mantissa/exponent bit of any of the 18 reals breaks this by many orders of
+  magnitude);
+* the per-site normalised plaquette ``(1/3) Re tr P`` of unitary links is
+  bounded: each of the three eigenvalue phases contributes at most 1, and
+  the trace of an SU(3) matrix has real part in ``[-1.5, 3]``, so the
+  normalised value lives in ``[-0.5, 1.0]``.  Corruption that somehow kept
+  a link unitary-looking would still move plaquettes out of range.
+
+Healing is SU(3) reprojection of exactly the flagged links (polar/SVD
+projection; non-finite links are first replaced by the identity, since no
+projection can recover information from NaNs).  Note that reprojection
+restores *validity*, not the original bits — campaign-level healing that
+must preserve bit-for-bit reproducibility rolls back to a checkpoint
+instead (see :mod:`repro.campaign.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.guard.errors import SDCDetected, UnitarityViolation
+from repro.guard.policy import GuardPolicy, resolve_policy
+from repro.su3 import identity, project_su3, unitarity_drift
+
+__all__ = [
+    "PLAQUETTE_RANGE",
+    "GaugeGuardReport",
+    "inspect_gauge",
+    "heal_gauge",
+    "check_gauge",
+]
+
+#: exact range of the per-site normalised plaquette for unitary links
+PLAQUETTE_RANGE = (-0.5, 1.0)
+
+
+@dataclass
+class GaugeGuardReport:
+    """Result of one gauge inspection (and optional heal)."""
+
+    ok: bool
+    unitarity_max: float
+    n_bad_links: int
+    plaquette_mean: float
+    plaquette_min: float
+    plaquette_max: float
+    healed_links: int = 0
+    context: str = ""
+    #: flat indices (into the (4, T, Z, Y, X) link axis order) of bad links
+    bad_link_indices: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+
+    def as_record(self) -> dict:
+        """JSON-serialisable summary for fault journals."""
+        return {
+            "ok": self.ok,
+            "unitarity_max": self.unitarity_max,
+            "n_bad_links": self.n_bad_links,
+            "plaquette_mean": self.plaquette_mean,
+            "plaquette_min": self.plaquette_min,
+            "plaquette_max": self.plaquette_max,
+            "healed_links": self.healed_links,
+            "context": self.context,
+        }
+
+
+def _plaquette_site_range(u: np.ndarray) -> tuple[float, float, float]:
+    """(mean, min, max) of the per-site normalised plaquette over all planes."""
+    from repro.loops import plaquette_field
+    from repro.su3 import NC, re_trace
+
+    lo, hi, total, n = np.inf, -np.inf, 0.0, 0
+    for mu in range(4):
+        for nu in range(mu + 1, 4):
+            p = re_trace(plaquette_field(u, mu, nu)) / NC
+            lo = min(lo, float(np.min(p)))
+            hi = max(hi, float(np.max(p)))
+            total += float(np.sum(p))
+            n += p.size
+    return total / n, lo, hi
+
+
+def inspect_gauge(
+    u: np.ndarray,
+    policy: GuardPolicy | str | None = None,
+    context: str = "",
+) -> GaugeGuardReport:
+    """Pure inspection: never mutates, never raises.
+
+    Corrupted fields make numpy emit overflow/invalid warnings during the
+    plaquette contraction — expected here, so they are suppressed.
+    """
+    policy = resolve_policy(policy)
+    with np.errstate(all="ignore"):
+        drift = unitarity_drift(u)
+        # NaN drift means a non-finite link; `drift > tol` alone misses it.
+        bad = (~np.isfinite(drift)) | (drift > policy.unitarity_tol)
+        # NaN -> inf so corrupted links dominate the reported maximum.
+        umax = float(np.max(np.where(np.isfinite(drift), drift, np.inf)))
+        pmean, pmin, pmax = _plaquette_site_range(u)
+    lo, hi = PLAQUETTE_RANGE
+    plaq_ok = (
+        np.isfinite(pmin)
+        and np.isfinite(pmax)
+        and pmin >= lo - policy.plaquette_slack
+        and pmax <= hi + policy.plaquette_slack
+    )
+    return GaugeGuardReport(
+        ok=(not bad.any()) and plaq_ok,
+        unitarity_max=umax,
+        n_bad_links=int(np.count_nonzero(bad)),
+        plaquette_mean=pmean,
+        plaquette_min=pmin,
+        plaquette_max=pmax,
+        context=context,
+        bad_link_indices=np.flatnonzero(bad),
+    )
+
+
+def heal_gauge(u: np.ndarray, bad_link_indices: np.ndarray) -> int:
+    """Reproject the flagged links onto SU(3) in place; returns links healed.
+
+    Non-finite links are replaced by the identity first — SVD cannot digest
+    NaNs, and the identity is the only bias-free choice when the original
+    information is gone.
+    """
+    if bad_link_indices.size == 0:
+        return 0
+    links = u.reshape(-1, u.shape[-2], u.shape[-1])
+    sel = links[bad_link_indices]
+    with np.errstate(all="ignore"):
+        nonfinite = ~np.all(np.isfinite(sel.view(np.float64)), axis=(-2, -1))
+    if nonfinite.any():
+        sel[nonfinite] = identity((), dtype=u.dtype)
+    if (~nonfinite).any():
+        sel[~nonfinite] = project_su3(sel[~nonfinite])
+    links[bad_link_indices] = sel
+    return int(bad_link_indices.size)
+
+
+def check_gauge(
+    u: np.ndarray,
+    policy: GuardPolicy | str | None = None,
+    context: str = "",
+) -> GaugeGuardReport:
+    """Guard entry point: inspect, and depending on the policy level raise
+    (detect), reproject-and-reinspect (heal), or do nothing (off).
+
+    Healing mutates ``u`` in place; callers holding kernel caches keyed on
+    the link array (fused Dslash link tables) must invalidate them after a
+    heal that touched links.
+    """
+    policy = resolve_policy(policy)
+    if not policy.enabled:
+        return GaugeGuardReport(
+            ok=True,
+            unitarity_max=0.0,
+            n_bad_links=0,
+            plaquette_mean=0.0,
+            plaquette_min=0.0,
+            plaquette_max=0.0,
+            context=context,
+        )
+    report = inspect_gauge(u, policy, context=context)
+    if report.ok:
+        return report
+    where = f" at {context}" if context else ""
+    if not policy.heal:
+        if report.n_bad_links:
+            raise UnitarityViolation(
+                f"{report.n_bad_links} gauge link(s) off SU(3){where}: "
+                f"max drift {report.unitarity_max:.3e} "
+                f"(tol {policy.unitarity_tol:.1e})"
+            )
+        raise SDCDetected(
+            f"plaquette out of bounds{where}: per-site range "
+            f"[{report.plaquette_min:.6f}, {report.plaquette_max:.6f}] "
+            f"outside {PLAQUETTE_RANGE}"
+        )
+    healed = heal_gauge(u, report.bad_link_indices)
+    after = inspect_gauge(u, policy, context=context)
+    after.healed_links = healed
+    if not after.ok:
+        raise SDCDetected(
+            f"gauge field unhealable{where}: {after.n_bad_links} bad link(s) "
+            f"remain after reprojecting {healed} (plaquette range "
+            f"[{after.plaquette_min:.6f}, {after.plaquette_max:.6f}])"
+        )
+    return after

@@ -1,0 +1,103 @@
+"""Guard policy: how aggressively to check for (and repair) corruption.
+
+Three levels, selectable per call site or globally via ``REPRO_GUARD``:
+
+``off``
+    No guards beyond the unconditional NaN/Inf fail-fast screens in the
+    solvers.  Zero overhead on the hot paths.
+``detect``
+    Run all checks (unitarity/plaquette bounds, true-residual replay,
+    ABFT probes) and *raise* the matching fault on violation.  The caller
+    (typically :func:`repro.campaign.run_resilient`) decides how to recover.
+``heal``
+    Run all checks and repair in place where possible: SU(3) reprojection
+    for drifted links, reliable updates for drifted residuals, precision
+    escalation for stagnated mixed solves, checkpoint rollback for
+    corrupted campaign state.  Raise only when healing is impossible.
+
+Explicit arguments always beat the environment variable, which beats the
+default of ``off`` — the same precedence the kernel and comm registries use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "GUARD_ENV_VAR",
+    "GUARD_LEVELS",
+    "GuardPolicy",
+    "resolve_guard_level",
+    "resolve_policy",
+]
+
+GUARD_ENV_VAR = "REPRO_GUARD"
+GUARD_LEVELS = ("off", "detect", "heal")
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Immutable bundle of guard level plus tolerances.
+
+    The tolerances are deliberately loose relative to fp64 roundoff: a
+    healthy double-precision reunitarised link sits at ~1e-15 drift, and a
+    single exponent-bit flip lands ~1e0 or worse, so there is a ten-orders-
+    of-magnitude gap for the thresholds to live in.
+    """
+
+    level: str = "off"
+    # Gauge guards ---------------------------------------------------------
+    #: max per-link |u†u - 1| before a link counts as off-manifold
+    unitarity_tol: float = 1e-6
+    #: slack outside the exact per-site plaquette range [-0.5, 1.0]
+    plaquette_slack: float = 1e-6
+    # Defensive solver guards ---------------------------------------------
+    #: recompute the true residual b - A x every this many iterations
+    true_residual_interval: int = 64
+    #: fault when true residual exceeds drift_tol x max(recursive, target)
+    residual_drift_tol: float = 10.0
+    #: iterations without a new best residual before declaring stagnation
+    stagnation_window: int = 200
+    # ABFT probes ----------------------------------------------------------
+    #: run a linearity probe + link checksum every this many applications
+    probe_interval: int = 128
+    #: relative linearity defect |D(x+p) - D(x) - D(p)| / scale considered ok
+    probe_tol: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if self.level not in GUARD_LEVELS:
+            raise ValueError(
+                f"unknown guard level {self.level!r}; choose from {GUARD_LEVELS}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    @property
+    def heal(self) -> bool:
+        return self.level == "heal"
+
+    def with_level(self, level: str) -> "GuardPolicy":
+        return replace(self, level=level)
+
+
+def resolve_guard_level(name: str | None = None) -> str:
+    """Explicit argument beats ``REPRO_GUARD`` beats the ``off`` default."""
+    if name is None:
+        name = os.environ.get(GUARD_ENV_VAR, "").strip().lower() or "off"
+    name = name.strip().lower()
+    if name not in GUARD_LEVELS:
+        raise ValueError(
+            f"unknown guard level {name!r}; choose from {GUARD_LEVELS}"
+        )
+    return name
+
+
+def resolve_policy(policy: "GuardPolicy | str | None" = None) -> GuardPolicy:
+    """Coerce a policy argument: GuardPolicy passes through, a string names
+    a level with default tolerances, None resolves via the environment."""
+    if isinstance(policy, GuardPolicy):
+        return policy
+    return GuardPolicy(level=resolve_guard_level(policy))

@@ -1,0 +1,64 @@
+"""Shared helpers for defensive Krylov solvers.
+
+The solvers themselves live in :mod:`repro.solvers`; this module only holds
+the small, solver-agnostic pieces: the unconditional finiteness screen (on
+at every guard level, including ``off`` — looping to ``max_iter`` on NaN is
+a bug, not a policy choice) and the stagnation detector used by the guarded
+replay loops.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.guard.errors import NumericalFault
+
+__all__ = ["require_finite", "StagnationDetector"]
+
+
+def require_finite(
+    value: float,
+    what: str,
+    *,
+    solver: str,
+    iteration: int,
+    last_residual: float | None = None,
+) -> float:
+    """Fail fast if a scalar reduction went NaN/Inf.
+
+    Returns the value unchanged when finite so it can be used inline:
+    ``r2 = require_finite(norm2(r), "|r|^2", ...)``.
+    """
+    if not math.isfinite(value):
+        raise NumericalFault(
+            f"non-finite {what}: {value!r}",
+            solver=solver,
+            iteration=iteration,
+            last_residual=last_residual,
+        )
+    return value
+
+
+class StagnationDetector:
+    """Flags a solve that has gone ``window`` iterations without improving.
+
+    Tracks the best residual-norm-squared seen so far; ``update`` returns
+    True once the stall counter reaches the window.  A reliable update or
+    restart should call :meth:`reset` so healed progress is not punished.
+    """
+
+    def __init__(self, window: int) -> None:
+        self.window = int(window)
+        self.best = math.inf
+        self.stalled = 0
+
+    def update(self, r2: float) -> bool:
+        if r2 < self.best:
+            self.best = r2
+            self.stalled = 0
+        else:
+            self.stalled += 1
+        return self.window > 0 and self.stalled >= self.window
+
+    def reset(self) -> None:
+        self.stalled = 0

@@ -59,12 +59,19 @@ def save_gauge(path: str | Path, gauge: GaugeField, **metadata) -> Path:
     return atomic_write_bytes(path, buf.getvalue())
 
 
-def load_gauge(path: str | Path) -> tuple[GaugeField, dict]:
+def load_gauge(path: str | Path, guard=None) -> tuple[GaugeField, dict]:
     """Read a configuration and its metadata.
 
     Raises :class:`CorruptConfigError` when the container is truncated or
     unreadable, when the stored links do not match the header shape, or
     when the CRC32 stamp does not match the payload.
+
+    ``guard`` (a :class:`~repro.guard.GuardPolicy`, level name, or None for
+    the ``REPRO_GUARD`` environment resolution) adds physics validation on
+    top of the byte-level CRC: per-link SU(3) unitarity drift and plaquette
+    bounds.  ``detect`` raises :class:`~repro.guard.SDCDetected` on
+    violation; ``heal`` reprojects the bad links in place and records
+    ``meta["healed_links"]``.
     """
     path = _npz_path(path)
     try:
@@ -88,6 +95,14 @@ def load_gauge(path: str | Path) -> tuple[GaugeField, dict]:
             raise CorruptConfigError(
                 f"checksum mismatch in {path}: header crc32={crc}, payload crc32={actual}"
             )
+    from repro.guard import check_gauge, resolve_policy
+
+    policy = resolve_policy(guard)
+    if policy.enabled:
+        u = np.ascontiguousarray(u)  # heal mutates in place; npz arrays may be lazy
+        report = check_gauge(u, policy, context=f"load_gauge:{path.name}")
+        if report.healed_links:
+            meta["healed_links"] = report.healed_links
     return GaugeField(lattice, u), meta
 
 

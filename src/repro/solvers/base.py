@@ -36,6 +36,10 @@ class SolveResult:
         For two-level schemes (mixed precision): total inner iterations.
     label:
         Algorithm tag for reports ("cg", "mixed_cg", ...).
+    guard_events:
+        Records appended by the defensive-solver guards (true-residual
+        drift, reliable updates, stagnation restarts, precision
+        escalations); empty when guards are off or nothing fired.
     """
 
     x: np.ndarray
@@ -48,6 +52,7 @@ class SolveResult:
     wall_time: float = 0.0
     inner_iterations: int = 0
     label: str = ""
+    guard_events: list[dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.residual = float(self.residual)

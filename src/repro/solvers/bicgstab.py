@@ -8,12 +8,14 @@ appear in the solver-comparison table (E4).
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
 from repro.dirac.operator import LinearOperator
 from repro.fields import norm2
+from repro.guard.errors import NumericalFault
 from repro.solvers.base import SolveResult
 
 __all__ = ["bicgstab"]
@@ -56,11 +58,20 @@ def bicgstab(
     target2 = (tol * tol) * b_norm2
     history = [np.sqrt(r2 / b_norm2)] if record_history else []
 
+    if not math.isfinite(r2):
+        raise NumericalFault("non-finite initial residual", solver="bicgstab", iteration=0)
+    last_finite = float(np.sqrt(r2 / b_norm2))
+
     it = 0
     converged = r2 <= target2
     broke_down = False
     while not converged and it < max_iter:
         rho = np.vdot(r_hat, r)
+        if not (math.isfinite(rho.real) and math.isfinite(rho.imag)):
+            raise NumericalFault(
+                "non-finite <r_hat, r>", solver="bicgstab",
+                iteration=it, last_residual=last_finite,
+            )
         if rho == 0.0 or omega == 0.0:
             broke_down = True
             break
@@ -68,12 +79,23 @@ def bicgstab(
         p = r + beta * (p - omega * v)
         v = op(p)
         denom = np.vdot(r_hat, v)
+        if not (math.isfinite(denom.real) and math.isfinite(denom.imag)):
+            raise NumericalFault(
+                "non-finite <r_hat, A p>", solver="bicgstab",
+                iteration=it, last_residual=last_finite,
+            )
         if denom == 0.0:
             broke_down = True
             break
         alpha = rho / denom
         s = r - alpha * v
-        if norm2(s) <= target2:
+        s2 = norm2(s)
+        if not math.isfinite(s2):
+            raise NumericalFault(
+                "non-finite intermediate residual norm", solver="bicgstab",
+                iteration=it, last_residual=last_finite,
+            )
+        if s2 <= target2:
             x += alpha * p
             r = s
             r2 = norm2(r)
@@ -92,6 +114,12 @@ def bicgstab(
         r = s - omega * t
         rho_old = rho
         r2 = norm2(r)
+        if not math.isfinite(r2):
+            raise NumericalFault(
+                "non-finite residual norm", solver="bicgstab",
+                iteration=it + 1, last_residual=last_finite,
+            )
+        last_finite = float(np.sqrt(r2 / b_norm2))
         it += 1
         if record_history:
             history.append(float(np.sqrt(r2 / b_norm2)))

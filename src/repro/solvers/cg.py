@@ -7,6 +7,21 @@ once up front, the operator writes through :meth:`LinearOperator.
 apply_into`, and every vector update is an in-place ufunc.  Scalar
 reductions use :func:`math.sqrt`; the residual-norm square root is only
 taken when a history is requested.
+
+Defense layers (see :mod:`repro.guard`):
+
+* A NaN/Inf screen on every scalar reduction is *unconditional* — a
+  non-finite residual means the solve is dead, and iterating to
+  ``max_iter`` on NaNs (the historical behaviour) just burns flops.
+* With ``guard`` at ``detect``/``heal`` the recurrence residual is
+  periodically cross-checked against the *true* residual ``b - A x``
+  (Chroma/tmLQCD-style reliable updates).  Drift beyond the policy bound
+  raises :class:`~repro.guard.SDCDetected` (detect) or triggers a reliable
+  update — residual replaced by the true one, search direction restarted,
+  and if the iterate itself is corrupt, restart from the last verified
+  iterate (heal).  Stagnation over the policy window raises
+  :class:`~repro.guard.SolverStagnation` (detect) or earns one restart
+  before raising (heal).
 """
 
 from __future__ import annotations
@@ -18,6 +33,9 @@ import numpy as np
 
 from repro.dirac.operator import LinearOperator
 from repro.fields import norm2
+from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
+from repro.guard.policy import GuardPolicy, resolve_policy
+from repro.guard.solver import StagnationDetector
 from repro.solvers.base import SolveResult
 
 __all__ = ["cg"]
@@ -30,15 +48,19 @@ def cg(
     tol: float = 1e-8,
     max_iter: int = 2000,
     record_history: bool = True,
+    guard: GuardPolicy | str | None = None,
 ) -> SolveResult:
     """Solve ``op x = b`` with plain CG.
 
     ``op`` must be Hermitian positive definite (use
     ``dirac.normal_op()`` for a Dirac matrix).  Convergence criterion is the
-    recurrence residual: ``|r_k| <= tol * |b|``.
+    recurrence residual ``|r_k| <= tol * |b|``; with ``guard`` enabled,
+    convergence is additionally verified against the true residual.
+    ``guard`` defaults to the ``REPRO_GUARD`` environment resolution.
     """
     t0 = time.perf_counter()
     applies0 = op.n_applies
+    policy = resolve_policy(guard)
 
     b_norm2 = norm2(b)
     if b_norm2 == 0.0:
@@ -46,6 +68,8 @@ def cg(
             x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
             history=[0.0], label="cg",
         )
+    if not math.isfinite(b_norm2):
+        raise NumericalFault("non-finite |b|^2", solver="cg", iteration=0)
 
     if x0 is None:
         x = np.zeros_like(b)
@@ -58,14 +82,67 @@ def cg(
     ap = np.empty_like(b)
     tmp = np.empty_like(b)
     r2 = norm2(r)
+    if not math.isfinite(r2):
+        raise NumericalFault("non-finite initial residual", solver="cg", iteration=0)
     target2 = (tol * tol) * b_norm2
     history = [math.sqrt(r2 / b_norm2)] if record_history else []
+    guard_events: list[dict] = []
+    stagnation = StagnationDetector(policy.stagnation_window) if policy.enabled else None
+    # Last *verified* iterate: the rollback point for corrupted heals.
+    x_good = x.copy() if policy.heal else None
+    restarts_left = 1
+    last_finite = math.sqrt(r2 / b_norm2)
+
+    def true_r2() -> float:
+        op(x, out=ap)
+        np.subtract(b, ap, out=tmp)
+        return norm2(tmp)
+
+    def reliable_update() -> float:
+        """Replace the recurrence residual by the true one; restart the
+        search direction.  Restores the last verified iterate first when
+        the current one is corrupt."""
+        nonlocal r2
+        rt2 = true_r2()
+        if not math.isfinite(rt2):
+            if x_good is None:
+                raise NumericalFault(
+                    "iterate corrupt and no verified rollback point",
+                    solver="cg", iteration=it, last_residual=last_finite,
+                )
+            np.copyto(x, x_good)
+            rt2 = true_r2()
+            if not math.isfinite(rt2):
+                raise NumericalFault(
+                    "true residual non-finite even at the verified iterate "
+                    "(operator output corrupt)",
+                    solver="cg", iteration=it, last_residual=last_finite,
+                )
+        np.copyto(r, tmp)
+        np.copyto(p, r)
+        r2 = rt2
+        if stagnation is not None:
+            stagnation.reset()
+        return rt2
 
     it = 0
     converged = r2 <= target2
     while not converged and it < max_iter:
         op(p, out=ap)
         pap = np.vdot(p, ap).real
+        if not math.isfinite(pap):
+            if policy.heal:
+                guard_events.append(
+                    {"kind": "nonfinite", "iteration": it, "action": "reliable_update"}
+                )
+                reliable_update()
+                it += 1  # the corrupted apply consumed this iteration
+                converged = r2 <= target2
+                continue
+            raise NumericalFault(
+                "non-finite <p, A p>", solver="cg",
+                iteration=it, last_residual=last_finite,
+            )
         if pap <= 0.0:
             # Operator is not positive definite (or roundoff at the limit).
             break
@@ -75,14 +152,74 @@ def cg(
         np.multiply(ap, alpha, out=tmp)
         r -= tmp
         r2_new = norm2(r)
+        if not math.isfinite(r2_new):
+            if policy.heal:
+                guard_events.append(
+                    {"kind": "nonfinite", "iteration": it, "action": "reliable_update"}
+                )
+                reliable_update()
+                it += 1
+                converged = r2 <= target2
+                continue
+            raise NumericalFault(
+                "non-finite residual norm", solver="cg",
+                iteration=it + 1, last_residual=last_finite,
+            )
         beta = r2_new / r2
         p *= beta
         p += r
         r2 = r2_new
+        last_finite = math.sqrt(r2 / b_norm2)
         it += 1
         if record_history:
-            history.append(math.sqrt(r2 / b_norm2))
+            history.append(last_finite)
         converged = r2 <= target2
+
+        if policy.enabled and (
+            converged
+            or (policy.true_residual_interval > 0
+                and it % policy.true_residual_interval == 0)
+        ):
+            rt2 = true_r2()
+            drifted = (not math.isfinite(rt2)) or rt2 > (
+                policy.residual_drift_tol ** 2
+            ) * max(r2, target2)
+            if drifted:
+                if not policy.heal:
+                    raise SDCDetected(
+                        f"true residual {math.sqrt(rt2 / b_norm2) if math.isfinite(rt2) else rt2!r} "
+                        f"drifted from recurrence residual {last_finite:.3e}",
+                        solver="cg", iteration=it, last_residual=last_finite,
+                    )
+                guard_events.append(
+                    {"kind": "residual_drift", "iteration": it,
+                     "action": "reliable_update"}
+                )
+                reliable_update()
+                last_finite = math.sqrt(r2 / b_norm2)
+                converged = r2 <= target2
+            else:
+                # Verified point: adopt the true residual as the recurrence
+                # one would drift past it anyway, and snapshot the iterate.
+                if x_good is not None:
+                    np.copyto(x_good, x)
+                if converged:
+                    r2 = rt2
+                    last_finite = math.sqrt(r2 / b_norm2)
+
+        if stagnation is not None and not converged and stagnation.update(r2):
+            if policy.heal and restarts_left > 0:
+                restarts_left -= 1
+                guard_events.append(
+                    {"kind": "stagnation", "iteration": it, "action": "restart"}
+                )
+                reliable_update()
+                converged = r2 <= target2
+                continue
+            raise SolverStagnation(
+                f"no progress in {policy.stagnation_window} iterations",
+                solver="cg", iteration=it, last_residual=last_finite,
+            )
 
     applies = op.n_applies - applies0
     return SolveResult(
@@ -95,4 +232,5 @@ def cg(
         flops=applies * op.flops_per_apply,
         wall_time=time.perf_counter() - t0,
         label="cg",
+        guard_events=guard_events,
     )

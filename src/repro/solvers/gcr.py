@@ -7,12 +7,14 @@ schemes and as a baseline in the solver-comparison table.
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
 from repro.dirac.operator import LinearOperator
 from repro.fields import norm2
+from repro.guard.errors import NumericalFault
 from repro.solvers.base import SolveResult
 
 __all__ = ["gcr"]
@@ -69,6 +71,11 @@ def gcr(
                 ap -= coef * api
                 p -= coef * pi
             an2 = norm2(ap)
+            if not math.isfinite(an2):
+                raise NumericalFault(
+                    "non-finite |A p|^2", solver="gcr",
+                    iteration=it, last_residual=float(np.sqrt(r2 / b_norm2)),
+                )
             if an2 == 0.0:
                 break
             alpha = np.vdot(ap, r) / an2
@@ -77,7 +84,13 @@ def gcr(
             p_list.append(p)
             ap_list.append(ap)
             ap_norm2.append(an2)
+            last_finite = float(np.sqrt(r2 / b_norm2))
             r2 = norm2(r)
+            if not math.isfinite(r2):
+                raise NumericalFault(
+                    "non-finite residual norm", solver="gcr",
+                    iteration=it + 1, last_residual=last_finite,
+                )
             it += 1
             if record_history:
                 history.append(float(np.sqrt(r2 / b_norm2)))

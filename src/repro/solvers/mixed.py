@@ -10,16 +10,29 @@ makes real progress; the fp64 outer loop removes the accumulated error.
 On memory-bandwidth-bound hardware the fp32 operator moves half the bytes
 and is up to ~2x faster; the scheme converges to full fp64 accuracy at a
 fraction of the fp64-only cost (Table E4 / Fig. E5).
+
+Guard semantics (see :mod:`repro.guard`): the outer residual is already a
+*true* residual, so no replay is needed — the outer loop IS the reliable
+update, and the inner CG always runs with its own guard off.  What the
+policy adds here is the response to a sick inner solve: at ``detect`` a
+non-finite inner residual or inner stagnation raises; at ``heal`` the
+correction is retried in full fp64 through ``op_outer`` (*precision
+escalation* — corruption or noise-floor trouble confined to the fp32
+data path cannot follow the solve there), and outer-residual divergence
+forces the same escalation.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
 from repro.dirac.operator import LinearOperator
 from repro.fields import norm
+from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
+from repro.guard.policy import GuardPolicy, resolve_policy
 from repro.solvers.base import SolveResult
 from repro.solvers.cg import cg
 
@@ -35,6 +48,7 @@ def mixed_precision_cg(
     max_outer: int = 50,
     max_inner: int = 1000,
     record_history: bool = True,
+    guard: GuardPolicy | str | None = None,
 ) -> SolveResult:
     """Solve ``op_outer x = b`` using fp32 inner solves.
 
@@ -50,10 +64,14 @@ def mixed_precision_cg(
     inner_tol:
         Relative residual reduction requested of each inner solve; ~1e-3
         is far above the fp32 noise floor, so inner CG never stagnates.
+    guard:
+        Guard policy (``REPRO_GUARD``-resolved when None); ``heal``
+        escalates sick inner solves to fp64.
     """
     if not 0 < inner_tol < 1:
         raise ValueError(f"inner_tol must be in (0, 1), got {inner_tol}")
     t0 = time.perf_counter()
+    policy = resolve_policy(guard)
     inner_dtype = np.complex64 if b.dtype == np.complex128 else b.dtype
 
     b_norm = norm(b)
@@ -62,28 +80,67 @@ def mixed_precision_cg(
             x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
             history=[0.0], label="mixed_cg",
         )
+    if not math.isfinite(b_norm):
+        raise NumericalFault("non-finite |b|", solver="mixed_cg", iteration=0)
 
     x = np.zeros_like(b)
     r = b.copy()
     ax = np.empty_like(b)
     r32 = np.empty(b.shape, dtype=inner_dtype)
     r_rel = 1.0
+    best_rel = r_rel
     history = [r_rel] if record_history else []
+    guard_events: list[dict] = []
 
     outer = 0
     inner_total = 0
     applies = 0
     flops = 0
     converged = False
+    escalate = False
     while outer < max_outer:
         if r_rel <= tol:
             converged = True
             break
-        # Inner correction solve in reduced precision (reused cast buffer).
-        np.copyto(r32, r, casting="same_kind")
-        inner_res = cg(
-            op_inner, r32, tol=inner_tol, max_iter=max_inner, record_history=False
-        )
+        inner_res = None
+        if not escalate:
+            # Inner correction solve in reduced precision (reused cast buffer).
+            np.copyto(r32, r, casting="same_kind")
+            try:
+                inner_res = cg(
+                    op_inner, r32, tol=inner_tol, max_iter=max_inner,
+                    record_history=False, guard="off",
+                )
+            except NumericalFault as fault:
+                if not policy.heal:
+                    raise NumericalFault(
+                        f"inner fp32 solve failed: {fault}",
+                        solver="mixed_cg", iteration=outer, last_residual=r_rel,
+                    ) from fault
+                guard_events.append(
+                    {"kind": "inner_fault", "outer": outer, "action": "escalate"}
+                )
+            else:
+                if policy.heal and inner_res.iterations == 0:
+                    guard_events.append(
+                        {"kind": "inner_stagnation", "outer": outer,
+                         "action": "escalate"}
+                    )
+                    inner_res = None
+        if inner_res is None:
+            # Precision escalation: redo the correction in full fp64.  The
+            # fp32 data path (operator, cast buffer) is out of the loop, so
+            # corruption confined to it cannot follow the solve here.
+            escalate = False
+            inner_res = cg(
+                op_outer, r, tol=inner_tol, max_iter=max_inner,
+                record_history=False, guard="off",
+            )
+            if inner_res.iterations == 0:
+                raise SolverStagnation(
+                    "no progress even after fp64 escalation",
+                    solver="mixed_cg", iteration=outer, last_residual=r_rel,
+                )
         inner_total += inner_res.iterations
         applies += inner_res.operator_applies
         flops += inner_res.flops
@@ -98,8 +155,31 @@ def mixed_precision_cg(
         outer += 1
         if record_history:
             history.append(float(r_rel))
+        if not math.isfinite(r_rel):
+            raise NumericalFault(
+                "non-finite outer residual", solver="mixed_cg",
+                iteration=outer, last_residual=best_rel,
+            )
+        # Residual divergence: the outer residual is exact, so growth beyond
+        # the drift bound means the corrections are poisoning the iterate.
+        if policy.enabled and r_rel > policy.residual_drift_tol * max(best_rel, tol):
+            if not policy.heal:
+                raise SDCDetected(
+                    f"outer residual diverged: {r_rel:.3e} from best {best_rel:.3e}",
+                    solver="mixed_cg", iteration=outer, last_residual=best_rel,
+                )
+            guard_events.append(
+                {"kind": "residual_divergence", "outer": outer, "action": "escalate"}
+            )
+            escalate = True
+        best_rel = min(best_rel, r_rel)
         # Stagnation guard: inner solve made no progress (e.g. fp32 floor).
-        if inner_res.iterations == 0:
+        if inner_res.iterations == 0 and not policy.heal:
+            if policy.enabled and r_rel > tol:
+                raise SolverStagnation(
+                    "inner solve made no progress", solver="mixed_cg",
+                    iteration=outer, last_residual=r_rel,
+                )
             break
 
     converged = converged or r_rel <= tol
@@ -114,4 +194,5 @@ def mixed_precision_cg(
         wall_time=time.perf_counter() - t0,
         inner_iterations=inner_total,
         label="mixed_cg",
+        guard_events=guard_events,
     )

@@ -8,12 +8,14 @@ delivers every shift from the single Krylov space of the ``sigma = 0``
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
 from repro.dirac.operator import LinearOperator
 from repro.fields import norm2
+from repro.guard.errors import NumericalFault
 from repro.solvers.base import SolveResult
 
 __all__ = ["multishift_cg"]
@@ -77,6 +79,11 @@ def multishift_cg(
             np.multiply(p[0], base, out=tmp)
             ap += tmp
         pap = np.vdot(p[0], ap).real
+        if not math.isfinite(pap):
+            raise NumericalFault(
+                "non-finite <p, A p>", solver="multishift_cg",
+                iteration=it, last_residual=float(np.sqrt(r2 / b_norm2)),
+            )
         if pap <= 0.0:
             break
         alpha = r2 / pap
@@ -106,6 +113,11 @@ def multishift_cg(
         np.multiply(ap, alpha, out=tmp)
         r -= tmp
         r2_new = norm2(r)
+        if not math.isfinite(r2_new):
+            raise NumericalFault(
+                "non-finite residual norm", solver="multishift_cg",
+                iteration=it + 1, last_residual=float(np.sqrt(r2 / b_norm2)),
+            )
         beta = r2_new / r2
         for i in range(n):
             if i == 0:

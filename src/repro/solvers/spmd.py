@@ -12,10 +12,16 @@ reduction keeps the iterates bit-identical across backends.
 The reduction path is allocation-free: rank block slices are computed once
 and the per-rank partials land in one preallocated buffer, so the two
 global sums per iteration add no garbage pressure to the hot loop.
+
+Defense mirrors :func:`repro.solvers.cg`: unconditional NaN/Inf fail-fast
+on every reduction, and with ``guard`` at ``detect``/``heal`` a periodic
+true-residual replay of the normal equations (``M^dag b - M^dag M x``)
+with reliable updates and restart-from-last-verified-iterate.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -23,6 +29,9 @@ import numpy as np
 from repro.dirac.decomposed import DecomposedWilsonDirac
 from repro.dirac.operator import NormalOperator
 from repro.fields import norm
+from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
+from repro.guard.policy import GuardPolicy, resolve_policy
+from repro.guard.solver import StagnationDetector
 from repro.solvers.base import SolveResult
 
 __all__ = ["cg_spmd"]
@@ -48,13 +57,16 @@ def cg_spmd(
     b: np.ndarray,
     tol: float = 1e-8,
     max_iter: int = 2000,
+    guard: GuardPolicy | str | None = None,
 ) -> SolveResult:
     """Solve ``M x = b`` via CG on ``M^dag M`` with SPMD reductions.
 
     ``op`` must be a :class:`DecomposedWilsonDirac`; its communicator
     records halos (from the operator) and collectives (from this driver).
+    ``guard`` defaults to the ``REPRO_GUARD`` environment resolution.
     """
     t0 = time.perf_counter()
+    policy = resolve_policy(guard)
     reduce = _SpmdReducer(op.comm, op.decomp)
     nop = NormalOperator(op)
     applies0 = op.n_applies
@@ -66,6 +78,8 @@ def cg_spmd(
             x=np.zeros_like(b), converged=True, iterations=0, residual=0.0,
             history=[0.0], label="cg_spmd",
         )
+    if not math.isfinite(b_norm2):
+        raise NumericalFault("non-finite |M^dag b|^2", solver="cg_spmd", iteration=0)
 
     x = np.zeros_like(b)
     r = rhs.copy()
@@ -74,12 +88,56 @@ def cg_spmd(
     r2 = reduce.vdot(r, r).real
     target2 = (tol * tol) * b_norm2
     history = [np.sqrt(r2 / b_norm2)]
+    guard_events: list[dict] = []
+    stagnation = StagnationDetector(policy.stagnation_window) if policy.enabled else None
+    x_good = x.copy() if policy.heal else None
+    restarts_left = 1
+    last_finite = math.sqrt(r2 / b_norm2)
+
+    def reliable_update() -> None:
+        """Reliable update on the normal equations: r <- M^dag b - M^dag M x,
+        p <- r, with rollback to the last verified iterate if x is corrupt."""
+        nonlocal r2
+        rt = rhs - nop(x)
+        rt2 = reduce.vdot(rt, rt).real
+        if not math.isfinite(rt2):
+            if x_good is None:
+                raise NumericalFault(
+                    "iterate corrupt and no verified rollback point",
+                    solver="cg_spmd", iteration=it, last_residual=last_finite,
+                )
+            np.copyto(x, x_good)
+            rt = rhs - nop(x)
+            rt2 = reduce.vdot(rt, rt).real
+            if not math.isfinite(rt2):
+                raise NumericalFault(
+                    "true residual non-finite even at the verified iterate",
+                    solver="cg_spmd", iteration=it, last_residual=last_finite,
+                )
+        np.copyto(r, rt)
+        np.copyto(p, r)
+        r2 = rt2
+        if stagnation is not None:
+            stagnation.reset()
 
     it = 0
     converged = r2 <= target2
     while not converged and it < max_iter:
         ap = nop(p)
         pap = reduce.vdot(p, ap).real
+        if not math.isfinite(pap):
+            if policy.heal:
+                guard_events.append(
+                    {"kind": "nonfinite", "iteration": it, "action": "reliable_update"}
+                )
+                reliable_update()
+                it += 1
+                converged = r2 <= target2
+                continue
+            raise NumericalFault(
+                "non-finite <p, A p>", solver="cg_spmd",
+                iteration=it, last_residual=last_finite,
+            )
         if pap <= 0.0:
             break
         alpha = r2 / pap
@@ -88,13 +146,71 @@ def cg_spmd(
         np.multiply(ap, alpha, out=scratch)
         r -= scratch
         r2_new = reduce.vdot(r, r).real
+        if not math.isfinite(r2_new):
+            if policy.heal:
+                guard_events.append(
+                    {"kind": "nonfinite", "iteration": it, "action": "reliable_update"}
+                )
+                reliable_update()
+                it += 1
+                converged = r2 <= target2
+                continue
+            raise NumericalFault(
+                "non-finite residual norm", solver="cg_spmd",
+                iteration=it + 1, last_residual=last_finite,
+            )
         beta = r2_new / r2
         p *= beta
         p += r
         r2 = r2_new
+        last_finite = math.sqrt(r2 / b_norm2)
         it += 1
         history.append(float(np.sqrt(r2 / b_norm2)))
         converged = r2 <= target2
+
+        if policy.enabled and (
+            converged
+            or (policy.true_residual_interval > 0
+                and it % policy.true_residual_interval == 0)
+        ):
+            rt = rhs - nop(x)
+            rt2 = reduce.vdot(rt, rt).real
+            drifted = (not math.isfinite(rt2)) or rt2 > (
+                policy.residual_drift_tol ** 2
+            ) * max(r2, target2)
+            if drifted:
+                if not policy.heal:
+                    raise SDCDetected(
+                        "true residual drifted from recurrence residual",
+                        solver="cg_spmd", iteration=it, last_residual=last_finite,
+                    )
+                guard_events.append(
+                    {"kind": "residual_drift", "iteration": it,
+                     "action": "reliable_update"}
+                )
+                reliable_update()
+                last_finite = math.sqrt(r2 / b_norm2)
+                converged = r2 <= target2
+            else:
+                if x_good is not None:
+                    np.copyto(x_good, x)
+                if converged:
+                    r2 = rt2
+                    last_finite = math.sqrt(r2 / b_norm2)
+
+        if stagnation is not None and not converged and stagnation.update(r2):
+            if policy.heal and restarts_left > 0:
+                restarts_left -= 1
+                guard_events.append(
+                    {"kind": "stagnation", "iteration": it, "action": "restart"}
+                )
+                reliable_update()
+                converged = r2 <= target2
+                continue
+            raise SolverStagnation(
+                f"no progress in {policy.stagnation_window} iterations",
+                solver="cg_spmd", iteration=it, last_residual=last_finite,
+            )
 
     applies = op.n_applies - applies0
     true_res = norm(b - op.apply(x)) / np.sqrt(reduce.vdot(b, b).real)
@@ -108,4 +224,5 @@ def cg_spmd(
         flops=applies * op.flops_per_apply,
         wall_time=time.perf_counter() - t0,
         label="cg_spmd",
+        guard_events=guard_events,
     )

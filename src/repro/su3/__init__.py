@@ -28,6 +28,7 @@ from repro.su3.group import (
     project_algebra,
     random_algebra,
     unitarity_violation,
+    unitarity_drift,
 )
 from repro.su3.gellmann import gellmann_matrices, algebra_to_coeffs, coeffs_to_algebra
 from repro.su3.su2 import (
@@ -58,6 +59,7 @@ __all__ = [
     "project_algebra",
     "random_algebra",
     "unitarity_violation",
+    "unitarity_drift",
     "gellmann_matrices",
     "algebra_to_coeffs",
     "coeffs_to_algebra",

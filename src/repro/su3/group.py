@@ -23,6 +23,7 @@ __all__ = [
     "project_algebra",
     "random_algebra",
     "unitarity_violation",
+    "unitarity_drift",
 ]
 
 
@@ -144,5 +145,18 @@ def reunitarize(u: np.ndarray) -> np.ndarray:
 def unitarity_violation(u: np.ndarray) -> float:
     """Max-norm deviation of ``u^dagger u`` from the identity — a health
     metric logged by long-running HMC streams."""
+    return float(np.max(unitarity_drift(u)))
+
+
+def unitarity_drift(u: np.ndarray) -> np.ndarray:
+    """Per-matrix max-norm deviation of ``u^dagger u`` from the identity.
+
+    Returns an array of shape ``u.shape[:-2]`` so guards can localise which
+    links have drifted off the group manifold (a single flipped bit corrupts
+    one link; the drift map pinpoints it).  Non-finite entries in ``u``
+    propagate to non-finite drift values, which callers must mask with
+    ``~np.isfinite`` — a plain ``drift > tol`` comparison is False for NaN.
+    """
     uu = mul_dag(u, u)
-    return float(np.max(np.abs(uu - identity(u.shape[:-2], dtype=u.dtype))))
+    uu = uu - identity(u.shape[:-2], dtype=u.dtype)
+    return np.max(np.abs(uu), axis=(-2, -1))

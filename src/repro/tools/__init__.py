@@ -6,5 +6,8 @@ stage of a production campaign:
 * ``generate_ensemble`` — heatbath/HMC gauge generation to an npz ensemble;
 * ``spectrum``          — hadron masses from a stored configuration;
 * ``scaling``           — the machine-model weak/strong scaling tables;
-* ``fix_gauge``         — Landau/Coulomb gauge fixing of a stored config.
+* ``fix_gauge``         — Landau/Coulomb gauge fixing of a stored config;
+* ``run_campaign``      — fault-tolerant checkpoint/resume campaign driver;
+* ``check_config``      — SDC audit of stored configs (CRC, unitarity,
+  plaquette vs header metadata); nonzero exit on violation.
 """

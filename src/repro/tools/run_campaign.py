@@ -17,6 +17,14 @@ A rerun of the exact ``run`` command after a crash (or SIGKILL) resumes
 from the last good checkpoint and produces a ledger bit-for-bit identical
 to an uninterrupted run.  ``--crash-after K`` SIGKILLs the driver before
 trajectory ``K`` — the fault-injection hook the crash-resume CI leg uses.
+
+``--flip-link-at K`` silently flips one bit of a gauge link before
+trajectory ``K`` (the SDC fault), and ``--guard LEVEL`` selects the guard
+response (default: the ``REPRO_GUARD`` environment variable).  With
+``--guard heal`` the corrupted campaign rolls back to its last good
+checkpoint and finishes with a ledger bit-for-bit identical to an
+unfaulted run; with ``--guard off`` the corruption silently propagates —
+the pair of behaviours the guard CI leg asserts.
 """
 
 from __future__ import annotations
@@ -61,6 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="fault injection: SIGKILL this process before trajectory K",
     )
+    run.add_argument(
+        "--flip-link-at",
+        type=int,
+        metavar="K",
+        help="fault injection: silently flip one gauge-link bit before trajectory K",
+    )
+    run.add_argument(
+        "--guard",
+        choices=("off", "detect", "heal"),
+        default=None,
+        help="SDC guard level (default: $REPRO_GUARD, else off)",
+    )
     run.add_argument("--quiet", action="store_true")
 
     meas = sub.add_parser("measure", help="journaled measurement sweep")
@@ -98,8 +118,12 @@ def _cmd_run(args) -> int:
         )
     campaign = HMCCampaign(args.dir, config)
     fault = None
-    if args.crash_after is not None:
-        fault = FaultPlan().sigkill_at(args.crash_after)
+    if args.crash_after is not None or args.flip_link_at is not None:
+        fault = FaultPlan()
+        if args.crash_after is not None:
+            fault.sigkill_at(args.crash_after)
+        if args.flip_link_at is not None:
+            fault.flip_gauge_bit_at(args.flip_link_at)
 
     progress = None
     if not args.quiet:
@@ -116,6 +140,7 @@ def _cmd_run(args) -> int:
         fault=fault,
         on_failure=lambda n, e: print(f"attempt {n} failed: {e}; resuming"),
         progress=progress,
+        guard=args.guard,
     )
     resumed = (
         f"resumed from trajectory {summary.resumed_from}"
@@ -129,6 +154,11 @@ def _cmd_run(args) -> int:
     )
     if summary.skipped_checkpoints:
         print(f"warning: skipped {summary.skipped_checkpoints} corrupt checkpoint(s)")
+    if summary.faults_detected:
+        print(
+            f"guard: {summary.faults_detected} SDC fault(s) detected, "
+            f"{summary.rollbacks} rollback(s) -> faults.jsonl"
+        )
     return 0
 
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.io import load_ensemble, load_gauge
-from repro.tools import fix_gauge, generate_ensemble, scaling, spectrum
+from repro.tools import check_config, fix_gauge, generate_ensemble, scaling, spectrum
 
 
 class TestGenerateEnsemble:
@@ -108,3 +108,63 @@ class TestFixGaugeTool:
         from repro.gaugefix import gauge_condition_violation
 
         assert gauge_condition_violation(fixed) < 1e-8
+
+
+class TestCheckConfigTool:
+    @pytest.fixture
+    def ensemble(self, tmp_path):
+        generate_ensemble.main(
+            [
+                "--shape", "4", "4", "4", "4", "--beta", "5.7", "--configs", "2",
+                "--therm", "3", "--separation", "1", "--seed", "21",
+                "--out", str(tmp_path / "ens"),
+            ]
+        )
+        return tmp_path / "ens"
+
+    def test_clean_ensemble_passes(self, ensemble, capsys):
+        rc = check_config.main([str(ensemble)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 2 and "header stamp" in out
+
+    def test_restamped_flip_caught_by_physics_rings(self, ensemble, capsys):
+        # Flip a stored link bit, then re-save so the container CRC is
+        # consistent with the corrupt payload — only the unitarity and
+        # plaquette rings can catch it now.
+        from repro.campaign import flip_bit
+        from repro.io import save_gauge
+
+        gauge, meta = load_gauge(ensemble / "cfg_0001.npz")
+        flip_bit(gauge.u, 99)
+        save_gauge(ensemble / "cfg_0001.npz", gauge, **meta)
+        rc = check_config.main([str(ensemble)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "off SU(3)" in out
+
+    def test_wrong_plaquette_stamp_caught(self, ensemble, capsys):
+        from repro.io import save_gauge
+
+        gauge, meta = load_gauge(ensemble / "cfg_0000.npz")
+        meta["plaquette"] = meta["plaquette"] + 1e-3
+        save_gauge(ensemble / "cfg_0000.npz", gauge, **meta)
+        rc = check_config.main([str(ensemble / "cfg_0000.npz")])
+        assert rc == 1
+        assert "header stamp" in capsys.readouterr().out
+
+    def test_unreadable_container_is_rc2(self, tmp_path, capsys):
+        bad = tmp_path / "cfg_0000.npz"
+        bad.write_bytes(b"definitely not an npz")
+        rc = check_config.main([str(bad)])
+        assert rc == 2
+        assert "corrupt container" in capsys.readouterr().out
+
+    def test_empty_directory_is_rc2(self, tmp_path):
+        rc = check_config.main([str(tmp_path)])
+        assert rc == 2
+
+    def test_quiet_prints_only_failures(self, ensemble, capsys):
+        rc = check_config.main([str(ensemble), "--quiet"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
