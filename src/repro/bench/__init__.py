@@ -28,6 +28,7 @@ from repro.bench.e14_potential import e14_static_potential
 from repro.bench.e15_autocorr import e15_autocorrelation
 from repro.bench.e16_campaign import e16_campaign_resilience
 from repro.bench.e17_guard import e17_guard_overhead
+from repro.bench.e18_telemetry import e18_telemetry_overhead
 
 __all__ = [
     "e11_discretizations",
@@ -37,6 +38,7 @@ __all__ = [
     "e15_autocorrelation",
     "e16_campaign_resilience",
     "e17_guard_overhead",
+    "e18_telemetry_overhead",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

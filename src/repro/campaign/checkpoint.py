@@ -30,6 +30,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.io.atomic import atomic_write_bytes
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.spans import span
+from repro.telemetry.state import STATE
 
 __all__ = [
     "CHECKPOINT_MAGIC",
@@ -59,20 +62,25 @@ def write_checkpoint(
     path: str | Path, arrays: dict[str, np.ndarray], meta: dict
 ) -> Path:
     """Serialise ``arrays`` + ``meta`` into one atomic, CRC-stamped file."""
-    buf = io.BytesIO()
-    np.savez(buf, **arrays)
-    payload = buf.getvalue()
-    header = json.dumps(
-        {
-            "version": CHECKPOINT_VERSION,
-            "crc32": zlib.crc32(payload),
-            "payload_bytes": len(payload),
-            "meta": meta,
-        },
-        sort_keys=True,
-    ).encode("utf-8")
-    blob = CHECKPOINT_MAGIC + _LEN.pack(len(header)) + header + payload
-    return atomic_write_bytes(path, blob)
+    with span("checkpoint_write", cat="campaign"):
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        payload = buf.getvalue()
+        header = json.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "crc32": zlib.crc32(payload),
+                "payload_bytes": len(payload),
+                "meta": meta,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        blob = CHECKPOINT_MAGIC + _LEN.pack(len(header)) + header + payload
+        if STATE.counting:
+            reg = _tm_registry.get_registry()
+            reg.add("campaign/checkpoints", 1)
+            reg.add("campaign/checkpoint_bytes", len(blob))
+        return atomic_write_bytes(path, blob)
 
 
 def read_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:

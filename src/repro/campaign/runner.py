@@ -45,6 +45,9 @@ from repro.hmc import HMC, WilsonGaugeAction
 from repro.io import atomic_write_bytes, load_gauge
 from repro.lattice import Lattice4D
 from repro.loops import average_plaquette
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.spans import current_span_path
+from repro.telemetry.state import STATE
 from repro.util.rng import restore_rng, rng_state
 
 __all__ = [
@@ -208,9 +211,28 @@ class HMCCampaign:
         Fault records deliberately do NOT go into the main ledger: the
         ledger must stay bit-for-bit identical to an unfaulted run's after
         a successful heal, which is the reproducibility contract the guard
-        tests enforce.
+        tests enforce.  When telemetry tracing is on, the record carries the
+        open span path so faults can be cross-referenced to the trace.
         """
+        span_path = current_span_path()
+        if span_path:
+            record = {**record, "span": span_path}
+        if STATE.counting:
+            _tm_registry.get_registry().add("campaign/faults", 1)
         Ledger(self.directory / "faults.jsonl").append({"step": step, **record})
+
+    def _metrics_ledger(self) -> Ledger:
+        """The side journal of per-trajectory telemetry counter deltas.
+
+        Kept out of the main ledger (and non-durable) so turning telemetry
+        on cannot change ``ledger.jsonl`` by a single byte — the off/
+        counters/trace ledger-parity contract the telemetry tests enforce.
+        """
+        return Ledger(self.directory / "metrics.jsonl", durable=False)
+
+    def _truncate_metrics(self, step: int) -> None:
+        if (self.directory / "metrics.jsonl").exists():
+            self._metrics_ledger().truncate_to(step)
 
     def _rollback(self, step: int) -> tuple[GaugeField, HMC, int]:
         """Restore the last good checkpoint (or the fresh start) and truncate
@@ -229,6 +251,9 @@ class HMCCampaign:
             good, arrays, meta = latest
             gauge, hmc = self._restore(arrays, meta)
         self.ledger.truncate_to(good)
+        self._truncate_metrics(good)
+        if STATE.counting:
+            _tm_registry.get_registry().add("campaign/rollbacks", 1)
         return gauge, hmc, good
 
     def run(
@@ -264,6 +289,7 @@ class HMCCampaign:
             # trajectories it cannot resume; clear them so the replayed
             # stream journals identically.
             self.ledger.truncate_to(0)
+            self._truncate_metrics(0)
         else:
             step0, arrays, meta = latest
             gauge, hmc = self._restore(arrays, meta)
@@ -271,11 +297,14 @@ class HMCCampaign:
             resumed_from = step0
             # Work journaled after the restart checkpoint will be redone.
             self.ledger.truncate_to(start_step)
+            self._truncate_metrics(start_step)
 
         faults_detected = 0
         rollbacks = 0
         max_rollbacks = 8  # persistent-corruption backstop, not a tuning knob
         step = start_step
+        metrics = self._metrics_ledger() if STATE.counting else None
+        counters_prev = _tm_registry.snapshot()["counters"] if metrics else None
         while step < cfg.n_trajectories:
             if fault is not None:
                 fault.fire(step, comm=comm, store=self.store, gauge=gauge)
@@ -324,6 +353,17 @@ class HMCCampaign:
             )
             if (step + 1) % cfg.checkpoint_interval == 0 or step + 1 == cfg.n_trajectories:
                 self._checkpoint(step + 1, gauge, hmc)
+            if metrics is not None:
+                cur = _tm_registry.snapshot()["counters"]
+                delta = {
+                    k: v - counters_prev.get(k, 0)
+                    for k, v in cur.items()
+                    if v != counters_prev.get(k, 0)
+                }
+                counters_prev = cur
+                metrics.append(
+                    {"step": step, "kind": "metrics", "counters": delta}
+                )
             if progress is not None:
                 progress(step, result)
             step += 1

@@ -58,6 +58,8 @@ from repro.comm.halo import (
 from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace
 from repro.lattice import Lattice4D
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.state import STATE
 
 __all__ = ["ShmComm", "close_live_comms"]
 
@@ -135,6 +137,11 @@ def _worker_main(rank: int, grid: RankGrid, conn, prefix: str) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the master handles ^C
     from repro.kernels.halo import HaloStencil, dagger_halo_links, full_box, split_boxes
 
+    # A forked worker inherits the master's registry contents; reset so the
+    # teardown gather returns clean per-rank counts (spawn starts clean and
+    # re-resolves REPRO_TELEMETRY from the environment).
+    _tm_registry.reset()
+
     segments: dict[tuple[str, int], shared_memory.SharedMemory] = {}
     arrays: dict[tuple[str, int], np.ndarray] = {}
     shapes: dict[str, tuple[tuple[int, ...], str]] = {}
@@ -158,8 +165,13 @@ def _worker_main(rank: int, grid: RankGrid, conn, prefix: str) -> None:
             break
         try:
             op = cmd[0]
+            reply = None
+            if op not in ("stop", "telemetry"):
+                _tm_registry.add(f"commands/{op}", 1)
             if op == "stop":
                 running = False
+            elif op == "telemetry":
+                reply = _tm_registry.snapshot()
             elif op == "declare":
                 # (key, shape, dtype) triples for later lazy attachment.
                 for key, shape, dtype in cmd[1]:
@@ -191,7 +203,7 @@ def _worker_main(rank: int, grid: RankGrid, conn, prefix: str) -> None:
                     )
             else:
                 raise ValueError(f"unknown shm command {op!r}")
-            conn.send(("ok", None))
+            conn.send(("ok", reply))
         except BaseException:
             try:
                 conn.send(("error", traceback.format_exc()))
@@ -496,12 +508,50 @@ class ShmComm:
                 + "\n".join(errors)
             )
 
+    # -- telemetry aggregation ------------------------------------------------
+
+    def gather_worker_metrics(self, timeout: float = 5.0) -> dict[int, dict]:
+        """Pull each worker's telemetry registry snapshot into the master's.
+
+        Worker counters land in the master registry under a ``rank<r>/``
+        prefix (e.g. ``rank2/commands/dslash``).  Returns the raw per-rank
+        snapshots.  Best-effort: a dead or slow rank is skipped, never
+        raised on — this runs inside :meth:`close`.
+        """
+        snaps: dict[int, dict] = {}
+        live: list[int] = []
+        for r, pipe in enumerate(self._pipes):
+            try:
+                pipe.send(("telemetry",))
+                live.append(r)
+            except Exception:
+                pass
+        for r in live:
+            pipe = self._pipes[r]
+            try:
+                if not pipe.poll(timeout):
+                    continue
+                status, payload = pipe.recv()
+            except Exception:
+                continue
+            if status == "ok" and isinstance(payload, dict):
+                snaps[r] = payload
+        reg = _tm_registry.get_registry()
+        for r, snap in snaps.items():
+            reg.merge(snap, prefix=f"rank{r}/")
+        return snaps
+
     # -- teardown -------------------------------------------------------------
 
     def close(self) -> None:
         """Stop workers and unlink all segments.  Idempotent; never raises."""
         if self._closed:
             return
+        if STATE.counting:
+            try:
+                self.gather_worker_metrics()
+            except Exception:
+                pass
         self._closed = True
         _LIVE_COMMS.discard(self)
         for pipe in self._pipes:

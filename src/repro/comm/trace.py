@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry import spans as _tm_spans
+from repro.telemetry.state import STATE
+
 __all__ = ["HaloEvent", "CollectiveEvent", "ComputeEvent", "CommTrace"]
 
 
@@ -54,10 +58,31 @@ class CommTrace:
     def record_halo(self, rank: int, mu: int, direction: int, nbytes: int) -> None:
         if self.enabled:
             self.events.append(HaloEvent(rank, mu, direction, int(nbytes)))
+        if STATE.counting:
+            reg = _tm_registry.get_registry()
+            reg.add("comm/halo_messages", 1)
+            reg.add("comm/halo_bytes", int(nbytes))
+            if STATE.tracing:
+                _tm_spans.get_trace_buffer().add_instant(
+                    "halo",
+                    cat="comm",
+                    args={"rank": rank, "mu": mu, "dir": direction, "bytes": int(nbytes)},
+                )
 
     def record_collective(self, kind: str, nbytes: int, nranks: int) -> None:
         if self.enabled:
             self.events.append(CollectiveEvent(kind, int(nbytes), int(nranks)))
+        if STATE.counting:
+            reg = _tm_registry.get_registry()
+            reg.add("comm/collectives", 1)
+            reg.add(f"comm/collective/{kind}", 1)
+            reg.add("comm/collective_bytes", int(nbytes) * int(nranks))
+            if STATE.tracing:
+                _tm_spans.get_trace_buffer().add_instant(
+                    kind,
+                    cat="comm",
+                    args={"bytes": int(nbytes), "nranks": int(nranks)},
+                )
 
     def record_compute(self, kernel: str, flops_per_rank: int, nranks: int) -> None:
         if self.enabled:

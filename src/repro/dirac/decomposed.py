@@ -113,6 +113,8 @@ class DecomposedWilsonDirac(LinearOperator):
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 8 * 12
         ) * gauge.lattice.volume
+        self.telemetry_label = "dslash_wilson_spmd"
+        self.telemetry_sites = gauge.lattice.volume
 
         w = self._WIDTH
         local = self.decomp.local_shape

@@ -84,6 +84,8 @@ class DomainWallDirac(LinearOperator):
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 4 * 12 + 2 * 12
         ) * gauge.lattice.volume * self.ls
+        self.telemetry_label = "dslash_dwf"
+        self.telemetry_sites = gauge.lattice.volume * self.ls
 
     @property
     def lattice(self):

@@ -20,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.workspace import Workspace
+from repro.telemetry.instruments import timed_apply
+from repro.telemetry.state import STATE
 
 __all__ = ["LinearOperator", "MatrixOperator", "NormalOperator"]
 
@@ -70,6 +72,8 @@ class LinearOperator:
 
     def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         self.n_applies += 1
+        if STATE.active:
+            return timed_apply(self, x, out)
         if out is None:
             return self.apply(x)
         return self.apply_into(x, out)
@@ -124,6 +128,9 @@ class NormalOperator(LinearOperator):
         super().__init__()
         self.inner = inner
         self.flops_per_apply = 2 * inner.flops_per_apply
+        inner_label = getattr(inner, "telemetry_label", type(inner).__name__.lower())
+        self.telemetry_label = f"normal_{inner_label}"
+        self.telemetry_sites = getattr(inner, "telemetry_sites", 0)
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         return self.inner.apply_dagger(self.inner.apply(x))

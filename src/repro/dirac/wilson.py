@@ -72,6 +72,8 @@ class WilsonDirac(LinearOperator):
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 8 * 12  # hop + axpy with the mass term
         ) * gauge.lattice.volume
+        self.telemetry_label = "dslash_wilson"
+        self.telemetry_sites = gauge.lattice.volume
 
     @property
     def lattice(self):

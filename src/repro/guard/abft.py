@@ -35,6 +35,10 @@ from repro.dirac.operator import LinearOperator
 from repro.guard.errors import SDCDetected
 from repro.guard.gauge import check_gauge, inspect_gauge
 from repro.guard.policy import GuardPolicy, resolve_policy
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.instruments import timed_apply
+from repro.telemetry.spans import instant
+from repro.telemetry.state import STATE
 from repro.util.rng import ensure_rng
 
 __all__ = ["LinkChecksum", "linearity_probe", "GuardedOperator"]
@@ -135,6 +139,12 @@ class GuardedOperator(LinearOperator):
         self.op = op
         self.policy = resolve_policy(policy)
         self.flops_per_apply = op.flops_per_apply
+        # Count guarded applies under the wrapped operator's label so flop
+        # counters stay comparable across guard on/off.
+        self.telemetry_label = getattr(
+            op, "telemetry_label", type(op).__name__.lower()
+        )
+        self.telemetry_sites = getattr(op, "telemetry_sites", 0)
         self._rng = ensure_rng(rng)
         self._probe_pairs: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
         self.guard_events: list[dict] = []
@@ -184,6 +194,8 @@ class GuardedOperator(LinearOperator):
             and self.n_applies % self.policy.probe_interval == 0
         ):
             self.probe_now(x.shape, x.dtype)
+        if STATE.active:
+            return timed_apply(self, x, out)
         if out is None:
             return self.apply(x)
         return self.apply_into(x, out)
@@ -193,6 +205,8 @@ class GuardedOperator(LinearOperator):
     def probe_now(self, shape: tuple[int, ...], dtype=np.complex128) -> None:
         """Run the checksum + linearity probes immediately (also the entry
         point for tests and the E17 benchmark)."""
+        if STATE.counting:
+            _tm_registry.get_registry().add("guard/probes", 1)
         if self._checksum is not None:
             bad = self._checksum.verify(self._u)
             if bad:
@@ -227,11 +241,19 @@ class GuardedOperator(LinearOperator):
 
     def _on_corrupt(self, message: str, kind: str) -> None:
         event = {"kind": kind, "message": message, "n_applies": self.n_applies}
+        if STATE.counting:
+            _tm_registry.get_registry().add("guard/detections", 1)
+            instant("guard_detect", cat="guard", kind=kind)
         if not self.policy.heal:
             self.guard_events.append({**event, "action": "detect"})
             raise SDCDetected(f"ABFT probe: {message}")
         report = check_gauge(self._u, self.policy, context=f"abft:{kind}")
         self._after_heal()
+        if STATE.counting:
+            reg = _tm_registry.get_registry()
+            reg.add("guard/heals", 1)
+            if report.healed_links:
+                reg.add("guard/healed_links", report.healed_links)
         self.guard_events.append(
             {**event, "action": "heal", "healed_links": report.healed_links}
         )

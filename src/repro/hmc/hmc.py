@@ -9,6 +9,9 @@ import numpy as np
 from repro.fields import GaugeField
 from repro.hmc.action import GaugeAction, kinetic_energy, sample_momenta
 from repro.hmc.integrator import INTEGRATORS
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.spans import span
+from repro.telemetry.state import STATE
 from repro.util.rng import ensure_rng
 
 __all__ = ["HMC", "TrajectoryResult"]
@@ -108,30 +111,40 @@ class HMC:
         """Evolve one trajectory in place (rejections restore the input)."""
         from repro.loops import average_plaquette
 
-        for t in self._terms:
-            if hasattr(t, "refresh"):
-                t.refresh(gauge, self.rng)
+        with span("hmc_trajectory", cat="hmc"):
+            for t in self._terms:
+                if hasattr(t, "refresh"):
+                    t.refresh(gauge, self.rng)
 
-        pi = sample_momenta(gauge, rng=self.rng)
-        h_old = kinetic_energy(pi) + self._action.action(gauge)
+            pi = sample_momenta(gauge, rng=self.rng)
+            h_old = kinetic_energy(pi) + self._action.action(gauge)
 
-        proposal = gauge.copy()
-        INTEGRATORS[self.integrator](proposal, pi, self._action, self.step_size, self.n_steps)
-        h_new = kinetic_energy(pi) + self._action.action(proposal)
-        dh = h_new - h_old
+            proposal = gauge.copy()
+            with span("integrate", cat="hmc"):
+                INTEGRATORS[self.integrator](
+                    proposal, pi, self._action, self.step_size, self.n_steps
+                )
+            h_new = kinetic_energy(pi) + self._action.action(proposal)
+            dh = h_new - h_old
 
-        accepted = dh <= 0.0 or self.rng.random() < np.exp(-dh)
-        if accepted:
-            gauge.u = proposal.u
-            self.n_accepted += 1
-        self.n_trajectories += 1
-        self.dh_history.append(float(dh))
-        return TrajectoryResult(
-            accepted=bool(accepted),
-            delta_h=float(dh),
-            action_value=float(self._action.action(gauge)),
-            plaquette=float(average_plaquette(gauge.u)),
-        )
+            accepted = dh <= 0.0 or self.rng.random() < np.exp(-dh)
+            if accepted:
+                gauge.u = proposal.u
+                self.n_accepted += 1
+            self.n_trajectories += 1
+            self.dh_history.append(float(dh))
+            if STATE.counting:
+                reg = _tm_registry.get_registry()
+                reg.add("hmc/trajectories", 1)
+                if accepted:
+                    reg.add("hmc/accepted", 1)
+                reg.observe("hmc/delta_h", abs(float(dh)))
+            return TrajectoryResult(
+                accepted=bool(accepted),
+                delta_h=float(dh),
+                action_value=float(self._action.action(gauge)),
+                plaquette=float(average_plaquette(gauge.u)),
+            )
 
     def run(self, gauge: GaugeField, n_trajectories: int) -> list[TrajectoryResult]:
         """Run a stream of trajectories, reunitarising periodically."""

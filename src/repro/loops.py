@@ -13,6 +13,9 @@ import numpy as np
 
 from repro import su3
 from repro.lattice import shift
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry.state import STATE
+from repro.util.flops import PLAQUETTE_FLOPS_PER_SITE
 
 __all__ = [
     "plaquette_field",
@@ -50,6 +53,12 @@ def average_plaquette(u: np.ndarray) -> float:
         for nu in range(mu + 1, 4):
             total += float(np.mean(su3.re_trace(plaquette_field(u, mu, nu))))
             nplanes += 1
+    if STATE.counting:
+        volume = int(np.prod(u.shape[1:5]))
+        reg = _tm_registry.get_registry()
+        reg.add("applies/plaquette", 1)
+        reg.add("flops/plaquette", PLAQUETTE_FLOPS_PER_SITE * volume)
+        reg.add("sites/plaquette", volume)
     return total / (su3.NC * nplanes)
 
 

@@ -37,6 +37,10 @@ from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
 from repro.guard.policy import GuardPolicy, resolve_policy
 from repro.guard.solver import StagnationDetector
 from repro.solvers.base import SolveResult
+from repro.telemetry.instruments import record_solve
+from repro.telemetry.spans import counter_event, span
+from repro.telemetry.state import STATE
+from repro.util.flops import cg_linalg_flops_per_iter
 
 __all__ = ["cg"]
 
@@ -58,6 +62,29 @@ def cg(
     convergence is additionally verified against the true residual.
     ``guard`` defaults to the ``REPRO_GUARD`` environment resolution.
     """
+    with span("cg", cat="solver"):
+        result = _cg_core(op, b, x0, tol, max_iter, record_history, guard)
+    if STATE.counting:
+        record_solve(
+            "cg",
+            result.iterations,
+            result.converged,
+            result.residual,
+            linalg_flops=result.iterations * cg_linalg_flops_per_iter(2 * b.size),
+            restarts=len(result.guard_events),
+        )
+    return result
+
+
+def _cg_core(
+    op: LinearOperator,
+    b: np.ndarray,
+    x0: np.ndarray | None,
+    tol: float,
+    max_iter: int,
+    record_history: bool,
+    guard: GuardPolicy | str | None,
+) -> SolveResult:
     t0 = time.perf_counter()
     applies0 = op.n_applies
     policy = resolve_policy(guard)
@@ -173,6 +200,8 @@ def cg(
         it += 1
         if record_history:
             history.append(last_finite)
+        if STATE.tracing:
+            counter_event("cg/residual", residual=last_finite)
         converged = r2 <= target2
 
         if policy.enabled and (

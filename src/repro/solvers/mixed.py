@@ -35,6 +35,9 @@ from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
 from repro.guard.policy import GuardPolicy, resolve_policy
 from repro.solvers.base import SolveResult
 from repro.solvers.cg import cg
+from repro.telemetry.instruments import record_solve
+from repro.telemetry.spans import counter_event, span
+from repro.telemetry.state import STATE
 
 __all__ = ["mixed_precision_cg"]
 
@@ -70,6 +73,34 @@ def mixed_precision_cg(
     """
     if not 0 < inner_tol < 1:
         raise ValueError(f"inner_tol must be in (0, 1), got {inner_tol}")
+    with span("mixed_cg", cat="solver"):
+        result = _mixed_core(
+            op_outer, op_inner, b, tol, inner_tol, max_outer, max_inner,
+            record_history, guard,
+        )
+    if STATE.counting:
+        record_solve(
+            "mixed_cg",
+            result.iterations,
+            result.converged,
+            result.residual,
+            restarts=len(result.guard_events),
+            inner_iterations=result.inner_iterations,
+        )
+    return result
+
+
+def _mixed_core(
+    op_outer: LinearOperator,
+    op_inner: LinearOperator,
+    b: np.ndarray,
+    tol: float,
+    inner_tol: float,
+    max_outer: int,
+    max_inner: int,
+    record_history: bool,
+    guard: GuardPolicy | str | None,
+) -> SolveResult:
     t0 = time.perf_counter()
     policy = resolve_policy(guard)
     inner_dtype = np.complex64 if b.dtype == np.complex128 else b.dtype
@@ -155,6 +186,8 @@ def mixed_precision_cg(
         outer += 1
         if record_history:
             history.append(float(r_rel))
+        if STATE.tracing:
+            counter_event("mixed_cg/residual", residual=float(r_rel))
         if not math.isfinite(r_rel):
             raise NumericalFault(
                 "non-finite outer residual", solver="mixed_cg",

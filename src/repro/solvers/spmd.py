@@ -33,6 +33,10 @@ from repro.guard.errors import NumericalFault, SDCDetected, SolverStagnation
 from repro.guard.policy import GuardPolicy, resolve_policy
 from repro.guard.solver import StagnationDetector
 from repro.solvers.base import SolveResult
+from repro.telemetry.instruments import record_solve
+from repro.telemetry.spans import counter_event, span
+from repro.telemetry.state import STATE
+from repro.util.flops import cg_linalg_flops_per_iter
 
 __all__ = ["cg_spmd"]
 
@@ -65,6 +69,27 @@ def cg_spmd(
     records halos (from the operator) and collectives (from this driver).
     ``guard`` defaults to the ``REPRO_GUARD`` environment resolution.
     """
+    with span("cg_spmd", cat="solver"):
+        result = _cg_spmd_core(op, b, tol, max_iter, guard)
+    if STATE.counting:
+        record_solve(
+            "cg_spmd",
+            result.iterations,
+            result.converged,
+            result.residual,
+            linalg_flops=result.iterations * cg_linalg_flops_per_iter(2 * b.size),
+            restarts=len(result.guard_events),
+        )
+    return result
+
+
+def _cg_spmd_core(
+    op: DecomposedWilsonDirac,
+    b: np.ndarray,
+    tol: float,
+    max_iter: int,
+    guard: GuardPolicy | str | None,
+) -> SolveResult:
     t0 = time.perf_counter()
     policy = resolve_policy(guard)
     reduce = _SpmdReducer(op.comm, op.decomp)
@@ -166,6 +191,8 @@ def cg_spmd(
         last_finite = math.sqrt(r2 / b_norm2)
         it += 1
         history.append(float(np.sqrt(r2 / b_norm2)))
+        if STATE.tracing:
+            counter_event("cg_spmd/residual", residual=last_finite)
         converged = r2 <= target2
 
         if policy.enabled and (

@@ -1,0 +1,69 @@
+"""Backwards-compatibility shims over the telemetry layer.
+
+:class:`StopWatch` predates :mod:`repro.telemetry`; it is now a thin alias
+over telemetry spans so existing callers keep their ``laps`` / ``counts`` /
+``breakdown`` API while every lap also lands in the metrics registry
+(``time/<name>``, ``calls/<name>``) and — in trace mode — in the Chrome
+trace buffer.  New code should use :func:`repro.telemetry.span` directly.
+
+Laps may start/stop in any interleaving (the old contract), so the shim
+records complete events straight into the trace buffer rather than through
+the strictly-nested span stack.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+from repro.telemetry.registry import get_registry
+from repro.telemetry.spans import get_trace_buffer
+from repro.telemetry.state import STATE
+
+__all__ = ["StopWatch"]
+
+
+class StopWatch:
+    """Accumulating timer with named laps (deprecated shim).
+
+    Same observable behaviour as the pre-telemetry ``util.timing.StopWatch``
+    — laps accumulate regardless of telemetry mode — plus registry/trace
+    feeds when telemetry is on.
+    """
+
+    def __init__(self) -> None:
+        warnings.warn(
+            "repro.util.timing.StopWatch is deprecated; use "
+            "repro.telemetry.span (and repro.telemetry.report) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.laps: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._open: dict[str, int] = {}
+
+    def start(self, name: str) -> None:
+        self._open[name] = time.perf_counter_ns()
+
+    def stop(self, name: str) -> None:
+        t0 = self._open.pop(name)
+        t1 = time.perf_counter_ns()
+        elapsed = (t1 - t0) / 1e9
+        self.laps[name] = self.laps.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if STATE.counting:
+            reg = get_registry()
+            reg.add(f"time/{name}", elapsed)
+            reg.add(f"calls/{name}", 1)
+        if STATE.tracing:
+            get_trace_buffer().add_complete(name, t0, t1, cat="stopwatch")
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total time per phase."""
+        tot = self.total()
+        if tot == 0.0:
+            return {k: 0.0 for k in self.laps}
+        return {k: v / tot for k, v in self.laps.items()}

@@ -1,0 +1,278 @@
+"""The process-local metrics registry: named counters, gauges, histograms.
+
+Production lattice codes instrument their hot paths with exactly this kind
+of registry — Chroma reports per-kernel flop totals and solver iteration
+budgets, the QCDOC work reports measured compute/communication fractions —
+and the numbers are *nominal*, community-convention counts (1320 flops per
+Wilson Dslash site) so runs are comparable across machines.
+
+Counters here follow the same discipline:
+
+* increments are allocation-free on the hot path (one dict store; counter
+  handles pre-resolve the dict slot so repeated increments touch no keys);
+* every count is exact by construction — operators charge
+  ``flops_per_apply`` per application, the comm layer charges the byte
+  counts it actually copies — which is what the counter-exactness golden
+  tests assert against analytic per-site values;
+* naming is hierarchical with ``/`` separators (``flops/dslash_wilson``,
+  ``comm/halo_bytes``, ``solver/cg/iterations``) so snapshots diff and
+  aggregate cleanly.
+
+The module-level helpers (:func:`add`, :func:`inc`, :func:`set_gauge`,
+:func:`observe`) write to the process-global registry and are no-ops when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.state import STATE, get_mode
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "add",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_SCHEMA = "repro-telemetry-snapshot/1"
+
+#: Default histogram bucket upper bounds (powers of two cover iteration
+#: counts and byte sizes alike); the last bucket is the +Inf overflow.
+DEFAULT_BUCKETS = tuple(2**k for k in range(0, 21, 2))
+
+
+class Counter:
+    """A pre-resolved handle on one registry counter.
+
+    ``add`` is a single attribute increment — the zero-allocation hot-path
+    increment the registry promises.  Handles stay valid across
+    :meth:`MetricsRegistry.reset` (reset zeroes them in place).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary statistics."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one process.
+
+    The registry itself is mode-agnostic — it counts whenever asked.  The
+    mode switch lives at the instrumentation sites (and in the module-level
+    helpers below), so a registry can also be used directly, e.g. by tests
+    or by the worker-rank gather.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- write paths ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The (created-on-first-use) counter handle for ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def add(self, name: str, n: int | float = 1) -> None:
+        self.counter(name).add(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read paths -----------------------------------------------------------
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def gauge(self, name: str, default: float | None = None) -> float | None:
+        return self._gauges.get(name, default)
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter name -> value, sorted by name."""
+        return {k: self._counters[k].value for k in sorted(self._counters)}
+
+    def snapshot(self) -> dict:
+        """A JSON-able, self-describing snapshot of everything recorded."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "mode": get_mode(),
+            "counters": self.counters(),
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].as_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    # -- maintenance ----------------------------------------------------------
+
+    def merge(self, snapshot: dict, prefix: str = "") -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counter values add; gauges overwrite; histogram summaries are
+        re-observed as (count, sum, min, max) is not mergeable bucket-free,
+        so bucket counts add when the bounds match and are dropped (with
+        the summary kept via counters) otherwise.  ``prefix`` namespaces
+        everything — the ShmComm teardown gather stores worker registries
+        as ``rank<r>/...``.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.add(prefix + name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(prefix + name, value)
+        for name, h in snapshot.get("histograms", {}).items():
+            mine = self.histogram(prefix + name, tuple(h.get("bounds", DEFAULT_BUCKETS)))
+            if list(mine.bounds) == list(h.get("bounds", [])):
+                for i, c in enumerate(h.get("bucket_counts", [])):
+                    mine.bucket_counts[i] += c
+                mine.count += h.get("count", 0)
+                mine.total += h.get("sum", 0.0)
+                if h.get("min") is not None:
+                    mine.min = min(mine.min, h["min"])
+                if h.get("max") is not None:
+                    mine.max = max(mine.max, h["max"])
+
+    def reset(self) -> None:
+        """Zero every metric in place (existing handles stay live)."""
+        for c in self._counters.values():
+            c.value = 0
+        self._gauges.clear()
+        for name in list(self._histograms):
+            self._histograms[name] = Histogram(name, self._histograms[name].bounds)
+
+
+#: The process-global registry all instrumentation sites write to.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def add(name: str, n: int | float = 1) -> None:
+    """Increment a global counter (no-op unless counters are on)."""
+    if STATE.counting:
+        _REGISTRY.add(name, n)
+
+
+def inc(name: str) -> None:
+    """Increment a global counter by one (no-op unless counters are on)."""
+    if STATE.counting:
+        _REGISTRY.add(name, 1)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a global gauge (no-op unless counters are on)."""
+    if STATE.counting:
+        _REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe into a global histogram (no-op unless counters are on)."""
+    if STATE.counting:
+        _REGISTRY.observe(name, value)
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Zero the global registry (tests and fresh measurement windows)."""
+    _REGISTRY.reset()
+
+
+def save_snapshot(path: str | Path, snap: dict | None = None) -> Path:
+    """Write a snapshot (default: the global registry's) as JSON."""
+    path = Path(path)
+    snap = snap if snap is not None else snapshot()
+    path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot written by :func:`save_snapshot` (schema-checked)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} is not {SNAPSHOT_SCHEMA!r} "
+            "(not a telemetry snapshot?)"
+        )
+    return data

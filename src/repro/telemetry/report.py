@@ -1,0 +1,131 @@
+"""Human-readable telemetry reports and snapshot diffing.
+
+:func:`report` renders the counters and span-time breakdown of a registry
+as paper-style tables (the interactive "what did this run cost" view);
+:func:`diff_snapshots` is the machine check behind the
+``repro.tools.perf_report`` CLI — it compares a snapshot against a stored
+baseline and returns the regressions, so CI can hold every future perf PR
+to the counters this layer records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.report import Table, format_bytes, format_si
+
+__all__ = ["report", "Regression", "diff_snapshots"]
+
+
+def _counter_fmt(name: str, value: float) -> str:
+    if name.endswith("_bytes") or name.endswith("/bytes"):
+        return format_bytes(value)
+    if name.startswith("flops/") or name.endswith("_flops"):
+        return format_si(float(value), "F")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def report(registry=None) -> str:
+    """Render the registry (default: global) as counter + timing tables."""
+    from repro.telemetry.registry import get_registry
+
+    reg = registry if registry is not None else get_registry()
+    counters = reg.counters()
+    times = {
+        k[len("time/"):]: v for k, v in counters.items() if k.startswith("time/")
+    }
+    calls = {
+        k[len("calls/"):]: v for k, v in counters.items() if k.startswith("calls/")
+    }
+    plain = {
+        k: v
+        for k, v in counters.items()
+        if not (k.startswith("time/") or k.startswith("calls/"))
+    }
+
+    parts: list[str] = []
+    if plain:
+        t = Table("telemetry counters", ["counter", "value", "pretty"])
+        for name, value in plain.items():
+            t.add_row([name, value, _counter_fmt(name, value)])
+        parts.append(t.render())
+    if times:
+        total = sum(times.values()) or 1.0
+        t = Table(
+            "span timing breakdown",
+            ["span", "calls", "total [s]", "mean [ms]", "share [%]"],
+        )
+        for name in sorted(times, key=times.get, reverse=True):
+            n = calls.get(name, 0)
+            t.add_row(
+                [
+                    name,
+                    n,
+                    times[name],
+                    1e3 * times[name] / n if n else 0.0,
+                    100.0 * times[name] / total,
+                ]
+            )
+        parts.append(t.render())
+    gauges = reg.snapshot()["gauges"]
+    if gauges:
+        t = Table("gauges", ["gauge", "value"])
+        for name, value in gauges.items():
+            t.add_row([name, value])
+        parts.append(t.render())
+    if not parts:
+        return "telemetry: nothing recorded (mode off, or no instrumented work ran)"
+    return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One counter that moved outside tolerance relative to the baseline."""
+
+    name: str
+    baseline: float
+    current: float | None  # None: counter missing from the current snapshot
+    rel_change: float | None
+
+    def describe(self) -> str:
+        if self.current is None:
+            return f"{self.name}: present in baseline ({self.baseline}) but missing"
+        return (
+            f"{self.name}: {self.baseline} -> {self.current} "
+            f"({100.0 * self.rel_change:+.2f}%)"
+        )
+
+
+def diff_snapshots(
+    current: dict,
+    baseline: dict,
+    rtol: float = 0.0,
+    ignore_prefixes: tuple[str, ...] = ("time/",),
+) -> list[Regression]:
+    """Counters in ``baseline`` that ``current`` fails to reproduce.
+
+    Every baseline counter must exist in ``current`` with a relative change
+    of at most ``rtol`` in either direction (nominal counts are exact, so
+    the CI baseline check runs with a small ``rtol`` only to absorb
+    platform-dependent solver iteration counts).  Wall-clock-derived
+    counters (``time/...`` by default) are skipped: they are measurements,
+    not invariants.
+    """
+    cur = current.get("counters", {})
+    out: list[Regression] = []
+    for name, base in baseline.get("counters", {}).items():
+        if any(name.startswith(p) for p in ignore_prefixes):
+            continue
+        if name not in cur:
+            out.append(Regression(name, base, None, None))
+            continue
+        value = cur[name]
+        if base == 0:
+            rel = 0.0 if value == 0 else float("inf")
+        else:
+            rel = (value - base) / base
+        if abs(rel) > rtol:
+            out.append(Regression(name, base, value, rel))
+    return out

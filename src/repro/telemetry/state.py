@@ -1,0 +1,93 @@
+"""Telemetry mode resolution and the process-global on/off switches.
+
+One process-local state object drives every instrumentation site::
+
+    REPRO_TELEMETRY=off        (default) hot paths pay one attribute check
+    REPRO_TELEMETRY=counters   named counters/gauges/histograms accumulate
+    REPRO_TELEMETRY=trace      counters plus span/instant trace events
+
+The hot-path contract is that ``off`` is a no-op: call sites guard on
+:data:`STATE` booleans (plain attribute loads, no function call in the
+fastest paths) and skip *all* telemetry work — no label formatting, no
+timestamping, no dict traffic — when telemetry is off.  Switching modes
+never touches the physics: instrumentation only observes values the hot
+loops already compute, which is what the off/counters/trace bit-parity
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = [
+    "TELEMETRY_ENV_VAR",
+    "TELEMETRY_MODES",
+    "STATE",
+    "resolve_mode",
+    "get_mode",
+    "set_mode",
+    "telemetry_mode",
+]
+
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+TELEMETRY_MODES = ("off", "counters", "trace")
+
+
+def resolve_mode(name: str | None = None) -> str:
+    """Resolve a telemetry mode: argument > ``$REPRO_TELEMETRY`` > ``off``."""
+    if name is None:
+        name = os.environ.get(TELEMETRY_ENV_VAR, "").strip() or "off"
+    if name not in TELEMETRY_MODES:
+        raise ValueError(
+            f"unknown telemetry mode {name!r}; available: {TELEMETRY_MODES}"
+        )
+    return name
+
+
+class _TelemetryState:
+    """Mode flags read by every instrumentation site.
+
+    ``counting`` is true in both ``counters`` and ``trace`` mode (tracing
+    implies counting, as in Chroma's QDP profiling); ``active`` is the
+    single check hot paths make before doing any telemetry work at all.
+    """
+
+    __slots__ = ("mode", "active", "counting", "tracing")
+
+    def __init__(self, mode: str) -> None:
+        self.set(mode)
+
+    def set(self, mode: str) -> None:
+        mode = resolve_mode(mode)
+        self.mode = mode
+        self.active = mode != "off"
+        self.counting = mode in ("counters", "trace")
+        self.tracing = mode == "trace"
+
+
+#: The process-global switch; import the *object* (not its fields) so mode
+#: changes made by :func:`set_mode` are seen everywhere.
+STATE = _TelemetryState(resolve_mode())
+
+
+def get_mode() -> str:
+    """The current telemetry mode."""
+    return STATE.mode
+
+
+def set_mode(mode: str) -> str:
+    """Switch the process-local telemetry mode; returns the previous mode."""
+    previous = STATE.mode
+    STATE.set(mode)
+    return previous
+
+
+@contextlib.contextmanager
+def telemetry_mode(mode: str):
+    """Context manager: run a block under ``mode``, then restore."""
+    previous = set_mode(mode)
+    try:
+        yield STATE
+    finally:
+        set_mode(previous)

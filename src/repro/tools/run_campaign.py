@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="SDC guard level (default: $REPRO_GUARD, else off)",
     )
     run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--telemetry",
+        choices=("off", "counters", "trace"),
+        default=None,
+        help="telemetry mode for this run (default: $REPRO_TELEMETRY, else off)",
+    )
 
     meas = sub.add_parser("measure", help="journaled measurement sweep")
     meas.add_argument("--dir", type=Path, required=True, help="campaign directory")
@@ -93,10 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     stat = sub.add_parser("status", help="summarise ledger and checkpoints")
     stat.add_argument("--dir", type=Path, required=True, help="campaign directory")
+    stat.add_argument(
+        "--metrics",
+        action="store_true",
+        help="aggregate the telemetry counter deltas journaled per trajectory "
+        "(metrics.jsonl, written when REPRO_TELEMETRY is on)",
+    )
     return p
 
 
 def _cmd_run(args) -> int:
+    if args.telemetry is not None:
+        from repro.telemetry import set_mode
+
+        set_mode(args.telemetry)
     config = None
     if args.shape is not None or args.beta is not None or args.trajectories is not None:
         if args.shape is None or args.beta is None or args.trajectories is None:
@@ -207,6 +223,43 @@ def _cmd_status(args) -> int:
             )
         for path, reason in store.skipped:
             print(f"  skipped corrupt: {path.name} ({reason})")
+    faults_path = directory / "faults.jsonl"
+    if faults_path.exists():
+        faults = Ledger(faults_path).records()
+        if faults:
+            print(f"faults.jsonl: {len(faults)} record(s)")
+            for f in faults[-3:]:
+                where = f" in span {f['span']!r}" if f.get("span") else ""
+                print(f"  step {f['step']}: {f.get('kind')}/{f.get('action')}{where}")
+    if getattr(args, "metrics", False):
+        _print_metrics(directory)
+    return 0
+
+
+def _print_metrics(directory: Path) -> int:
+    """Aggregate metrics.jsonl (per-trajectory counter deltas) into totals."""
+    from repro.campaign import Ledger
+    from repro.util.report import Table
+
+    metrics_path = directory / "metrics.jsonl"
+    if not metrics_path.exists():
+        print(
+            "no metrics.jsonl — run the campaign with REPRO_TELEMETRY=counters "
+            "(or trace) to journal per-trajectory counters"
+        )
+        return 0
+    rows = Ledger(metrics_path).records()
+    totals: dict[str, float] = {}
+    for row in rows:
+        for name, delta in row.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + delta
+    print(f"metrics.jsonl: {len(rows)} trajectory row(s)")
+    t = Table("campaign telemetry totals", ["counter", "total"])
+    for name in sorted(totals):
+        if name.startswith("time/"):
+            continue  # wall-clock noise, not an invariant
+        t.add_row([name, totals[name]])
+    print(t.render())
     return 0
 
 

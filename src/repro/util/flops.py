@@ -25,6 +25,7 @@ __all__ = [
     "CLOVER_FLOPS_PER_SITE",
     "SU3_MATMUL_FLOPS",
     "SU3_MATVEC_FLOPS",
+    "PLAQUETTE_FLOPS_PER_SITE",
     "dslash_flops",
     "cg_linalg_flops_per_iter",
 ]
@@ -41,6 +42,11 @@ SU3_MATMUL_FLOPS = 198
 
 #: One 3x3 complex matrix-vector multiply = 66 real flops.
 SU3_MATVEC_FLOPS = 66
+
+#: Average plaquette per site: 6 planes, each 3 SU(3) matmuls plus a real
+#: trace (3 complex diagonal reals -> 2 adds after the 3 real parts; we
+#: count re-trace as 2 flops): 6 * (3 * 198 + 2) = 3576.
+PLAQUETTE_FLOPS_PER_SITE = 6 * (3 * SU3_MATMUL_FLOPS + 2)
 
 
 def dslash_flops(volume: int, *, clover: bool = False) -> int:

@@ -1,9 +1,15 @@
-"""Wall-clock timing helpers used by the benchmark harness."""
+"""Wall-clock timing helpers used by the benchmark harness.
+
+:class:`StopWatch` now lives in :mod:`repro.telemetry.compat` as a
+deprecated shim over telemetry spans; it is re-exported here so existing
+imports keep working.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from repro.telemetry.compat import StopWatch
 
 __all__ = ["Timer", "StopWatch"]
 
@@ -27,34 +33,3 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self._start
-
-
-@dataclass
-class StopWatch:
-    """Accumulating timer with named laps.
-
-    Hot loops call :meth:`start`/:meth:`stop` around distinct phases
-    (e.g. ``"dslash"``, ``"linalg"``, ``"halo"``) and report a breakdown.
-    """
-
-    laps: dict[str, float] = field(default_factory=dict)
-    counts: dict[str, int] = field(default_factory=dict)
-    _open: dict[str, float] = field(default_factory=dict)
-
-    def start(self, name: str) -> None:
-        self._open[name] = time.perf_counter()
-
-    def stop(self, name: str) -> None:
-        t0 = self._open.pop(name)
-        self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - t0
-        self.counts[name] = self.counts.get(name, 0) + 1
-
-    def total(self) -> float:
-        return sum(self.laps.values())
-
-    def breakdown(self) -> dict[str, float]:
-        """Fraction of total time per phase."""
-        tot = self.total()
-        if tot == 0.0:
-            return {k: 0.0 for k in self.laps}
-        return {k: v / tot for k, v in self.laps.items()}
