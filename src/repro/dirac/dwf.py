@@ -25,6 +25,7 @@ from repro.dirac.hopping import DEFAULT_FERMION_PHASES
 from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
 from repro.kernels.registry import make_kernel, resolve_kernel_name
+from repro.telemetry.instruments import record_kernel_selection
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
 __all__ = ["DomainWallDirac"]
@@ -86,6 +87,7 @@ class DomainWallDirac(LinearOperator):
         ) * gauge.lattice.volume * self.ls
         self.telemetry_label = "dslash_dwf"
         self.telemetry_sites = gauge.lattice.volume * self.ls
+        record_kernel_selection(self)
 
     @property
     def lattice(self):

@@ -26,6 +26,7 @@ from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
 from repro.gammas import apply_gamma5
 from repro.kernels.registry import make_kernel, resolve_kernel_name
+from repro.telemetry.instruments import record_kernel_selection
 from repro.lattice import checkerboard_masks, mask_field
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
@@ -56,6 +57,8 @@ class EvenOddWilson:
         self._not_odd = ~self.odd
         self.kernel_name = resolve_kernel_name(kernel)
         self._kernel = make_kernel(self.kernel_name)
+        self.telemetry_label = "dslash_eo"
+        record_kernel_selection(self)
 
     @property
     def lattice(self):

@@ -26,6 +26,7 @@ from repro.dirac.operator import LinearOperator
 from repro.fields import GaugeField
 from repro.gammas import apply_gamma5
 from repro.kernels.registry import make_kernel, resolve_kernel_name
+from repro.telemetry.instruments import record_kernel_selection
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
 __all__ = ["WilsonDirac"]
@@ -74,6 +75,7 @@ class WilsonDirac(LinearOperator):
         ) * gauge.lattice.volume
         self.telemetry_label = "dslash_wilson"
         self.telemetry_sites = gauge.lattice.volume
+        record_kernel_selection(self)
 
     @property
     def lattice(self):

@@ -2,19 +2,22 @@
 
 The performance subsystem of the operator stack: a scratch-buffer arena
 (:class:`Workspace`), allocation-free slab shifts (:func:`shift_into`),
-the fused spin-projected hopping kernel (:class:`FusedHopping`), and a
-registry of named kernels (``reference`` / ``fused`` / ``fused-matmul``
-/ ``naive``) selectable per operator or via the ``REPRO_KERNEL``
-environment variable.
+the fused spin-projected hopping kernel (:class:`FusedHopping`), the
+Numba-jitted cache-blocked site-loop kernel (:class:`CompiledHopping`),
+and a registry of named kernels (``reference`` / ``fused`` /
+``compiled`` / ``fused-matmul`` / ``naive`` / ``compiled-python``)
+selectable per operator or via the ``REPRO_KERNEL`` environment
+variable.
 
-Design rule — *two Dslash paths, one truth*: the roll-based
+Design rule — *N Dslash paths, one truth*: the roll-based
 ``reference`` kernel in :mod:`repro.dirac.hopping` stays the executable
-specification; the ``fused`` kernel reorganises memory traffic only and
-must agree with it bit-for-bit (enforced by tier-1 property tests).
+specification; the ``fused`` and ``compiled`` kernels reorganise memory
+traffic and execution only and must agree with it bit-for-bit (enforced
+by tier-1 property tests).
 """
 
 from repro.kernels.workspace import Workspace
-from repro.kernels.shifts import shift_into
+from repro.kernels.shifts import shift_into, site_neighbor_tables
 from repro.kernels.color import color_mul_into, COLOR_BACKENDS
 from repro.kernels.spin import project_into, reconstruct_accumulate
 from repro.kernels.fused import FusedHopping
@@ -22,7 +25,9 @@ from repro.kernels.halo import HaloStencil, dagger_halo_links, split_boxes, full
 from repro.kernels.registry import (
     KERNEL_ENV_VAR,
     DEFAULT_KERNEL,
+    KernelUnavailableError,
     available_kernels,
+    kernel_available,
     resolve_kernel_name,
     make_kernel,
 )
@@ -30,6 +35,7 @@ from repro.kernels.registry import (
 __all__ = [
     "Workspace",
     "shift_into",
+    "site_neighbor_tables",
     "color_mul_into",
     "COLOR_BACKENDS",
     "project_into",
@@ -41,7 +47,9 @@ __all__ = [
     "full_box",
     "KERNEL_ENV_VAR",
     "DEFAULT_KERNEL",
+    "KernelUnavailableError",
     "available_kernels",
+    "kernel_available",
     "resolve_kernel_name",
     "make_kernel",
 ]

@@ -1,0 +1,423 @@
+"""The compiled Dslash tier: a threaded, cache-blocked Numba site-loop kernel.
+
+The NumPy ``fused`` kernel still streams ~8 full-lattice intermediate
+arrays (shift buffer, half spinors, colour products) through memory per
+apply — one pass per direction term.  This backend restructures the same
+arithmetic the way production Dslash kernels (Grid/QUDA/BAGEL class) do:
+
+* **SoA site layout** — fields are viewed as flat site-major arrays
+  (``psi: (Ls, V, 4, 3)``, links packed per direction term as
+  ``(8, V, 3, 3)``), with nearest neighbours resolved through the
+  precomputed index tables of
+  :func:`repro.kernels.shifts.site_neighbor_tables`;
+* **one fused pass per site** — spin-project → SU(3) multiply →
+  reconstruct for all 8 direction terms completes in registers/L1
+  before moving to the next site, so the spinor field is streamed once
+  per apply instead of ~20 times;
+* **cache-blocked, threaded site loop** — sites are processed in blocks
+  (``REPRO_KERNEL_BLOCK`` sites, default 512) distributed over a Numba
+  ``prange`` (thread count via ``REPRO_KERNEL_THREADS``; per-site
+  results are written disjointly, so the thread count cannot change a
+  single bit of the output);
+* **allocation-free protocol** — ``out=`` is honoured and the little
+  scratch the pre-pass needs lives in the kernel's
+  :class:`~repro.kernels.workspace.Workspace`, so solver hot loops run
+  allocation-free exactly as with ``fused``.
+
+Bit-for-bit contract
+--------------------
+The site loop reproduces the reference kernel's arithmetic exactly:
+term order (per ``mu``: forward then backward), half-spinor projection
+as ``coeff * lower + upper`` (coefficients are 0, ±1, ±i — exact in
+either precision), left-to-right 3-term colour dot products (verified
+identical to NumPy's einsum accumulation order), and accumulation from
+an explicit zero.  The one operation a scalar loop *cannot* reproduce
+is the boundary-phase multiply: NumPy's SIMD complex-multiply loop
+contracts with FMA, so an elementwise ``x * phase`` differs from the
+array op in the last ulp.  Boundary phases are therefore applied
+*outside* the core with the same NumPy ufunc the ``fused`` path uses —
+the wrapped-boundary neighbour values are gathered into a contiguous
+``phased`` buffer, phase-multiplied by NumPy, and the core reads
+boundary neighbours from that buffer.  The surface-to-volume ratio
+makes this pre-pass negligible.
+
+Threading changes nothing: each site owns its 12 output elements and
+every accumulation is site-local, so the result is independent of the
+thread count and block size (asserted by the parity tests).
+
+Availability
+------------
+Numba is an optional dependency (``pip install repro[compiled]``).
+Without it, constructing the jitted kernel raises
+:class:`~repro.kernels.registry.KernelUnavailableError`; the
+``compiled-python`` registry entry runs the identical core as
+interpreted Python (dependency-free, catastrophically slow) so the
+tier's arithmetic stays bit-parity-tested on NumPy-only installs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro.kernels.registry import KernelUnavailableError
+from repro.kernels.shifts import site_neighbor_tables
+from repro.kernels.spin import PROJECT_ROWS, RECON_ROWS
+from repro.kernels.workspace import Workspace
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "THREADS_ENV_VAR",
+    "BLOCK_ENV_VAR",
+    "DEFAULT_BLOCK_SITES",
+    "CompiledHopping",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the NumPy-only environment
+    NUMBA_AVAILABLE = False
+    prange = range
+
+#: Thread-count knob for the compiled kernel's ``prange`` site loop.
+THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+#: Cache-block size knob (sites per block; one prange work item each).
+BLOCK_ENV_VAR = "REPRO_KERNEL_BLOCK"
+
+#: Default sites per cache block: 512 sites keep the block's spinor
+#: traffic (~100 KB fp64) inside L2 while amortising loop overhead.
+DEFAULT_BLOCK_SITES = 512
+
+
+# -- static direction-term tables ---------------------------------------------
+#
+# Term index t = 2*mu + d with d=0 forward, d=1 backward, matching the
+# reference kernel's accumulation order.  Projection sign is -1 for the
+# forward term and +1 for the backward term; the tables fold the sign
+# into the coefficients so the core is sign-free.
+
+def _term_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    pq = np.empty((8, 2), dtype=np.int64)
+    rq = np.empty((8, 2), dtype=np.int64)
+    pc = np.empty((8, 2), dtype=np.complex128)
+    rc = np.empty((8, 2), dtype=np.complex128)
+    for mu in range(4):
+        for d, sign in enumerate((-1, +1)):
+            t = 2 * mu + d
+            for p in range(2):
+                q, c = PROJECT_ROWS[mu][p]
+                pq[t, p] = q
+                pc[t, p] = sign * c
+                q2, c2 = RECON_ROWS[mu][p]
+                rq[t, p] = q2
+                rc[t, p] = sign * c2
+    for a in (pq, rq, pc, rc):
+        a.flags.writeable = False
+    return pq, rq, pc, rc
+
+
+_PQ, _RQ, _PC128, _RC128 = _term_tables()
+_COEF_CACHE: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _coeffs(dtype) -> tuple[np.ndarray, np.ndarray]:
+    """(projection, reconstruction) coefficient tables in the field dtype.
+
+    Entries are 0, ±1, ±i — exact in complex64 and complex128, so the
+    cast never rounds.
+    """
+    key = np.dtype(dtype).str
+    cached = _COEF_CACHE.get(key)
+    if cached is None:
+        pc = _PC128.astype(dtype)
+        rc = _RC128.astype(dtype)
+        pc.flags.writeable = False
+        rc.flags.writeable = False
+        cached = _COEF_CACHE[key] = (pc, rc)
+    return cached
+
+
+@lru_cache(maxsize=None)
+def _gather_plan(
+    dims: tuple[int, int, int, int], phased_terms: tuple[bool, ...]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[tuple[int, int, int], ...]]:
+    """Per-(volume, phase-pattern) gather plan for the compiled core.
+
+    Returns ``(neigh, wrapidx, src_rows, segments)``: the (8, V)
+    neighbour table, a (8, V) map from site to row in the phased
+    boundary buffer (-1 = read ``psi`` directly), the concatenated
+    source-site rows feeding that buffer, and per-term
+    ``(term, offset, count)`` segments describing which slice of the
+    buffer carries which term's boundary (the phase value itself is
+    applied per apply — only the *pattern* of non-unit phases is baked
+    into the plan).
+    """
+    neigh, wraps = site_neighbor_tables(dims)
+    volume = neigh.shape[1]
+    wrapidx = np.full((8, volume), -1, dtype=np.int64)
+    rows: list[np.ndarray] = []
+    segments: list[tuple[int, int, int]] = []
+    offset = 0
+    for t in range(8):
+        if not phased_terms[t]:
+            continue
+        dst_rows, src_rows = wraps[t]
+        n = len(dst_rows)
+        wrapidx[t, dst_rows] = offset + np.arange(n, dtype=np.int64)
+        rows.append(src_rows)
+        segments.append((t, offset, n))
+        offset += n
+    src = (
+        np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+    )
+    wrapidx.flags.writeable = False
+    src.flags.writeable = False
+    return neigh, wrapidx, src, tuple(segments)
+
+
+# -- the site-loop core --------------------------------------------------------
+#
+# Written in the nopython subset so the very same function body runs
+# jitted (``compiled``) and interpreted (``compiled-python``).  Every
+# arithmetic statement is deliberate — see the bit-for-bit contract in
+# the module docstring before touching the ordering.
+
+def _dslash_core(
+    links, psi, phased, neigh, wrapidx, out, pq, pc, rq, rc, n_blocks, block_sites
+):
+    ls = psi.shape[0]
+    volume = psi.shape[1]
+    for blk in prange(n_blocks):
+        start = blk * block_sites
+        end = min(start + block_sites, volume)
+        h = np.empty_like(psi[0, 0, 0:2])
+        uh = np.empty_like(psi[0, 0, 0:2])
+        for x in range(start, end):
+            for l in range(ls):
+                o = out[l, x]
+                for s in range(4):
+                    for c in range(3):
+                        o[s, c] = 0.0
+                for t in range(8):
+                    w = wrapidx[t, x]
+                    if w >= 0:
+                        src = phased[l, w]
+                    else:
+                        src = psi[l, neigh[t, x]]
+                    # Spin-project: h[p] = coeff * lower[q] + upper[p].
+                    for p in range(2):
+                        cc = pc[t, p]
+                        q = 2 + pq[t, p]
+                        for c in range(3):
+                            h[p, c] = cc * src[q, c] + src[p, c]
+                    # SU(3) multiply, left-to-right 3-term dot (einsum order).
+                    g = links[t, x]
+                    for p in range(2):
+                        for a in range(3):
+                            acc = g[a, 0] * h[p, 0]
+                            acc = acc + g[a, 1] * h[p, 1]
+                            acc = acc + g[a, 2] * h[p, 2]
+                            uh[p, a] = acc
+                    # Reconstruct-accumulate: upper then scaled lower.
+                    for p in range(2):
+                        for c in range(3):
+                            o[p, c] = o[p, c] + uh[p, c]
+                    for p in range(2):
+                        dd = rc[t, p]
+                        q = rq[t, p]
+                        for c in range(3):
+                            o[2 + p, c] = o[2 + p, c] + dd * uh[q, c]
+
+
+_dslash_core_jit = None
+
+
+def _jit_core():
+    """Compile (once) and return the jitted core."""
+    global _dslash_core_jit
+    if _dslash_core_jit is None:
+        _dslash_core_jit = njit(parallel=True, cache=True, fastmath=False)(
+            _dslash_core
+        )
+    return _dslash_core_jit
+
+
+def _resolve_threads(threads: int | None) -> int:
+    """Thread count: explicit arg > ``$REPRO_KERNEL_THREADS`` > numba default."""
+    if threads is None:
+        env = os.environ.get(THREADS_ENV_VAR, "").strip()
+        if env:
+            threads = int(env)
+    if threads is not None:
+        if threads < 1:
+            raise ValueError(f"{THREADS_ENV_VAR} must be >= 1, got {threads}")
+        if NUMBA_AVAILABLE:
+            from numba import config as numba_config
+
+            threads = min(threads, numba_config.NUMBA_NUM_THREADS)
+        return int(threads)
+    if NUMBA_AVAILABLE:
+        from numba import get_num_threads
+
+        return int(get_num_threads())
+    return 1
+
+
+def _resolve_block_sites(block_sites: int | None) -> int:
+    if block_sites is None:
+        env = os.environ.get(BLOCK_ENV_VAR, "").strip()
+        block_sites = int(env) if env else DEFAULT_BLOCK_SITES
+    if block_sites < 1:
+        raise ValueError(f"{BLOCK_ENV_VAR} must be >= 1, got {block_sites}")
+    return int(block_sites)
+
+
+class CompiledHopping:
+    """Stateful compiled hopping kernel (SoA link pack + jitted site loop).
+
+    Parameters
+    ----------
+    threads:
+        ``prange`` thread count; ``None`` defers to
+        ``$REPRO_KERNEL_THREADS`` and then numba's default.  Clamped to
+        numba's configured maximum.  The output is thread-count
+        invariant (bit-for-bit).
+    block_sites:
+        Sites per cache block (``None``: ``$REPRO_KERNEL_BLOCK`` then
+        512).  One prange work item per block.
+    jit:
+        ``False`` runs the identical core as interpreted Python — the
+        dependency-free ``compiled-python`` parity/debug backend.
+        ``True`` (default) requires numba and raises
+        :class:`KernelUnavailableError` without it.
+    """
+
+    def __init__(
+        self,
+        threads: int | None = None,
+        block_sites: int | None = None,
+        jit: bool = True,
+    ) -> None:
+        if jit and not NUMBA_AVAILABLE:
+            raise KernelUnavailableError(
+                "the 'compiled' Dslash kernel requires numba "
+                "(pip install repro[compiled]); use the 'fused' kernel on "
+                "NumPy-only installs"
+            )
+        self.jit = bool(jit)
+        self.name = "compiled" if self.jit else "compiled-python"
+        self.threads = _resolve_threads(threads) if self.jit else 1
+        self.block_sites = _resolve_block_sites(block_sites)
+        self.workspace = Workspace()
+        self._u_ref: np.ndarray | None = None
+        self._links: np.ndarray | None = None
+
+    def invalidate(self) -> None:
+        """Drop the cached link pack (after an in-place gauge update)."""
+        self._u_ref = None
+        self._links = None
+
+    def _pack_links(self, u: np.ndarray) -> np.ndarray:
+        """``(8, V, 3, 3)`` per-term link table, cached per gauge array.
+
+        Term ``2*mu`` holds ``U_mu(x)``; term ``2*mu + 1`` holds
+        ``U_mu(x - mu)^dag`` — conj-transpose and shift are exact data
+        movement, so the pack introduces no rounding.
+        """
+        if self._u_ref is not u:
+            dims = u.shape[1:5]
+            volume = int(np.prod(dims))
+            links = np.empty((8, volume, 3, 3), dtype=u.dtype)
+            for mu in range(4):
+                links[2 * mu] = np.ascontiguousarray(u[mu]).reshape(volume, 3, 3)
+                udag = np.conj(np.roll(u[mu], 1, axis=mu)).swapaxes(-1, -2)
+                links[2 * mu + 1].reshape(dims + (3, 3))[...] = udag
+            self._links = links
+            self._u_ref = u
+        return self._links
+
+    def _sites_view(self, arr: np.ndarray, volume: int, slot: str) -> tuple:
+        """C-contiguous ``(Ls, V, 4, 3)`` view of a field (copying into
+        workspace scratch only when the input is not contiguous)."""
+        if arr.flags.c_contiguous:
+            return arr.reshape(-1, volume, 4, 3), None
+        buf = self.workspace.get(arr.shape, arr.dtype, slot)
+        np.copyto(buf, arr)
+        return buf.reshape(-1, volume, 4, 3), buf
+
+    def __call__(
+        self,
+        u: np.ndarray,
+        psi: np.ndarray,
+        phases: tuple[complex, complex, complex, complex],
+        site_axis_start: int = 0,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if out is psi:
+            raise ValueError("hopping kernel output must not alias the input field")
+        s0 = site_axis_start
+        dims = tuple(psi.shape[s0 : s0 + 4])
+        if tuple(u.shape[1:5]) != dims or psi.shape[-2:] != (4, 3):
+            raise ValueError(
+                f"field/gauge shape mismatch: psi {psi.shape} "
+                f"(site_axis_start={s0}) vs u {u.shape}"
+            )
+        if u.dtype != psi.dtype:
+            raise ValueError(
+                f"gauge dtype {u.dtype} != field dtype {psi.dtype}; "
+                "cast the operator with astype() instead"
+            )
+        volume = int(np.prod(dims))
+        links = self._pack_links(u)
+        psi_s, _ = self._sites_view(psi, volume, "compiled.psi")
+
+        # Gather plan + phased boundary buffer.  Phases are applied with
+        # the same NumPy ufunc the fused path uses (see module docstring).
+        phased_terms = []
+        for mu in range(4):
+            nontrivial = bool(phases[mu] != 1.0)
+            phased_terms += [nontrivial, nontrivial]
+        neigh, wrapidx, src_rows, segments = _gather_plan(
+            dims, tuple(phased_terms)
+        )
+        ls = psi_s.shape[0]
+        phased = self.workspace.get(
+            (ls, len(src_rows), 4, 3), psi.dtype, "compiled.phased"
+        )
+        for t, offset, n in segments:
+            mu, d = divmod(t, 2)
+            phase = phases[mu] if d == 0 else np.conj(phases[mu])
+            seg = phased[:, offset : offset + n]
+            seg[...] = psi_s[:, src_rows[offset : offset + n]]
+            seg *= phase
+
+        target = out if out is not None else np.empty_like(psi)
+        if target.flags.c_contiguous:
+            out_s, out_buf = target.reshape(-1, volume, 4, 3), None
+        else:
+            out_buf = self.workspace.get(target.shape, target.dtype, "compiled.out")
+            out_s = out_buf.reshape(-1, volume, 4, 3)
+
+        pc, rc = _coeffs(psi.dtype)
+        block_sites = self.block_sites
+        n_blocks = (volume + block_sites - 1) // block_sites
+        if self.jit:
+            from numba import get_num_threads, set_num_threads
+
+            if get_num_threads() != self.threads:
+                set_num_threads(self.threads)
+            core = _jit_core()
+        else:
+            core = _dslash_core
+        core(
+            links, psi_s, phased, neigh, wrapidx, out_s,
+            _PQ, pc, _RQ, rc, n_blocks, block_sites,
+        )
+        if out_buf is not None:
+            np.copyto(target, out_buf)
+        return target

@@ -25,7 +25,12 @@ from repro.telemetry.registry import get_registry
 from repro.telemetry.spans import get_trace_buffer
 from repro.telemetry.state import STATE
 
-__all__ = ["operator_label", "timed_apply", "record_solve"]
+__all__ = [
+    "operator_label",
+    "timed_apply",
+    "record_kernel_selection",
+    "record_solve",
+]
 
 
 def operator_label(op) -> str:
@@ -64,6 +69,34 @@ def timed_apply(op, x, out):
                 label, t0, time.perf_counter_ns(), cat="operator"
             )
     return result
+
+
+def record_kernel_selection(op) -> None:
+    """Record which Dslash backend an operator resolved to (gauges).
+
+    Called once at operator construction (no-op when telemetry is off),
+    so ``perf_report show`` can attribute counter diffs to the kernel in
+    use.  Gauges, not counters: the selection is a fact about the run,
+    not an accumulating quantity, and the counter-exactness goldens stay
+    backend-independent.
+
+    ``kernel/<label>/backend/<kernel_name>``
+        1.0 for the backend the operator constructed.
+    ``kernel/<label>/threads``
+        The kernel's thread count (1 for the NumPy single-threaded
+        tiers; the resolved ``REPRO_KERNEL_THREADS`` value for
+        ``compiled``).
+    """
+    if not STATE.counting:
+        return
+    name = getattr(op, "kernel_name", None)
+    if not name:
+        return
+    label = operator_label(op)
+    threads = getattr(getattr(op, "_kernel", None), "threads", 1)
+    reg = get_registry()
+    reg.set_gauge(f"kernel/{label}/backend/{name}", 1.0)
+    reg.set_gauge(f"kernel/{label}/threads", float(threads))
 
 
 def record_solve(

@@ -198,7 +198,14 @@ def test_fused_matmul_backend_is_close():
 class TestRegistry:
     def test_available(self):
         names = available_kernels()
-        assert {"reference", "fused", "fused-matmul", "naive"} <= set(names)
+        assert {
+            "reference",
+            "fused",
+            "fused-matmul",
+            "naive",
+            "compiled",
+            "compiled-python",
+        } <= set(names)
 
     def test_default(self, monkeypatch):
         monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)

@@ -1,0 +1,371 @@
+"""Tier-1 tests for the compiled Dslash kernel tier.
+
+The ``compiled`` backend must be bit-for-bit identical to ``reference``
+("N Dslash paths, one truth").  Numba is optional, so the suite is
+layered: the site-loop *arithmetic* is verified on every install through
+the dependency-free ``compiled-python`` backend (the identical core run
+interpreted), the jit==python-core and threading-knob tests only run
+where numba is installed, and the graceful-degradation branches are
+tested by monkeypatching availability so both directions are covered on
+any host.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.comm import RankGrid, ShmComm, VirtualComm
+from repro.dirac.decomposed import DecomposedWilsonDirac
+from repro.dirac.dwf import DomainWallDirac
+from repro.dirac.eo import EvenOddWilson
+from repro.dirac.hopping import (
+    DEFAULT_FERMION_PHASES,
+    PERIODIC_PHASES,
+    hopping_term,
+)
+from repro.dirac.operator import NormalOperator
+from repro.dirac.wilson import WilsonDirac
+from repro.fields import GaugeField, random_fermion
+from repro.gammas import gamma5
+from repro.guard import GuardedOperator
+from repro.kernels import (
+    KERNEL_ENV_VAR,
+    KernelUnavailableError,
+    kernel_available,
+    make_kernel,
+    resolve_kernel_name,
+)
+from repro.kernels import registry as kernel_registry
+from repro.kernels.compiled import (
+    BLOCK_ENV_VAR,
+    NUMBA_AVAILABLE,
+    THREADS_ENV_VAR,
+    CompiledHopping,
+)
+from repro.lattice import Lattice4D
+
+TWISTED_PHASES = (np.exp(0.3j), 1.0, np.exp(-0.2j), 1.0)
+ALL_PHASES = [DEFAULT_FERMION_PHASES, PERIODIC_PHASES, TWISTED_PHASES]
+
+needs_numba = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba not installed (pip install repro[compiled])"
+)
+
+#: Backends under test on this host: the pure-python core always, plus
+#: the jitted kernel when numba is present.
+BACKENDS = ["compiled-python"] + (["compiled"] if NUMBA_AVAILABLE else [])
+
+
+def _rand_field(rng, shape, dtype):
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+
+
+# -- kernel-level bit parity ---------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
+@pytest.mark.parametrize(
+    "extents", [(4, 4, 4, 4), (3, 4, 5, 2), (2, 3, 2, 5)], ids=["4444", "odd", "tiny"]
+)
+@pytest.mark.parametrize(
+    "phases", ALL_PHASES, ids=["antiperiodic", "periodic", "twisted"]
+)
+def test_bit_parity_with_reference(backend, dtype, extents, phases):
+    rng = np.random.default_rng(17)
+    u = _rand_field(rng, (4,) + extents + (3, 3), dtype)
+    psi = _rand_field(rng, extents + (4, 3), dtype)
+    ref = hopping_term(u, psi, phases)
+    got = make_kernel(backend)(u, psi, phases)
+    assert got.dtype == ref.dtype
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("phases", ALL_PHASES, ids=["antiperiodic", "periodic", "twisted"])
+def test_bit_parity_5d(backend, phases):
+    """Domain-wall layout: leading s-axis, site_axis_start=1."""
+    rng = np.random.default_rng(23)
+    extents = (3, 4, 2, 5)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    psi = _rand_field(rng, (3,) + extents + (4, 3), np.complex128)
+    ref = hopping_term(u, psi, phases, site_axis_start=1)
+    got = make_kernel(backend)(u, psi, phases, site_axis_start=1)
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bit_parity_matches_fused(backend):
+    """Transitivity check against the default NumPy tier directly."""
+    rng = np.random.default_rng(29)
+    extents = (4, 4, 6, 4)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    psi = _rand_field(rng, extents + (4, 3), np.complex128)
+    fused = make_kernel("fused")(u, psi, DEFAULT_FERMION_PHASES)
+    got = make_kernel(backend)(u, psi, DEFAULT_FERMION_PHASES)
+    assert np.array_equal(fused, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_out_protocol_and_aliasing(backend):
+    rng = np.random.default_rng(31)
+    extents = (2, 3, 4, 2)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    psi = _rand_field(rng, extents + (4, 3), np.complex128)
+    kernel = make_kernel(backend)
+    ref = hopping_term(u, psi, DEFAULT_FERMION_PHASES)
+    out = np.empty_like(psi)
+    result = kernel(u, psi, DEFAULT_FERMION_PHASES, out=out)
+    assert result is out and np.array_equal(ref, out)
+    with pytest.raises(ValueError, match="alias"):
+        kernel(u, psi, DEFAULT_FERMION_PHASES, out=psi)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_noncontiguous_fields(backend):
+    """Strided views are copied through workspace scratch, not rejected."""
+    rng = np.random.default_rng(37)
+    extents = (4, 4, 4, 4)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    big = _rand_field(rng, extents + (4, 6), np.complex128)
+    psi = big[..., :3]
+    assert not psi.flags.c_contiguous
+    ref = hopping_term(u, psi, TWISTED_PHASES)
+    kernel = make_kernel(backend)
+    assert np.array_equal(ref, kernel(u, psi, TWISTED_PHASES))
+    out = np.empty_like(big)[..., :3]
+    result = kernel(u, psi, TWISTED_PHASES, out=out)
+    assert result is out and np.array_equal(ref, out)
+
+
+def test_block_size_invariance():
+    """The cache-block size partitions work only — bit-identical output."""
+    rng = np.random.default_rng(41)
+    extents = (3, 4, 5, 2)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    psi = _rand_field(rng, extents + (4, 3), np.complex128)
+    base = CompiledHopping(jit=False)(u, psi, DEFAULT_FERMION_PHASES)
+    for block_sites in (1, 7, 64, 10_000):
+        kernel = CompiledHopping(jit=False, block_sites=block_sites)
+        assert np.array_equal(base, kernel(u, psi, DEFAULT_FERMION_PHASES))
+
+
+def test_env_knob_validation(monkeypatch):
+    monkeypatch.setenv(BLOCK_ENV_VAR, "0")
+    with pytest.raises(ValueError, match=BLOCK_ENV_VAR):
+        CompiledHopping(jit=False)
+    monkeypatch.setenv(BLOCK_ENV_VAR, "128")
+    assert CompiledHopping(jit=False).block_sites == 128
+
+
+def test_link_cache_invalidation():
+    """In-place gauge mutation + invalidate() refreshes the link pack."""
+    rng = np.random.default_rng(43)
+    extents = (2, 3, 4, 2)
+    u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+    psi = _rand_field(rng, extents + (4, 3), np.complex128)
+    kernel = CompiledHopping(jit=False)
+    kernel(u, psi, DEFAULT_FERMION_PHASES)
+    u *= 0.5  # same array object: identity-keyed cache goes stale
+    kernel.invalidate()
+    assert np.array_equal(
+        hopping_term(u, psi, DEFAULT_FERMION_PHASES),
+        kernel(u, psi, DEFAULT_FERMION_PHASES),
+    )
+
+
+# -- operator integration ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return Lattice4D((4, 4, 6, 4))
+
+
+@pytest.fixture(scope="module")
+def gauge(lattice):
+    return GaugeField.hot(lattice, rng=5)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", [np.complex128, np.complex64], ids=["fp64", "fp32"])
+def test_wilson_operator_parity(lattice, gauge, backend, dtype):
+    g = gauge if dtype == np.complex128 else gauge.astype(dtype)
+    psi = random_fermion(lattice, rng=7, dtype=dtype)
+    ref = WilsonDirac(g, 0.1, kernel="reference")
+    com = WilsonDirac(g, 0.1, kernel=backend)
+    assert np.array_equal(ref(psi), com(psi))
+    out = np.empty_like(psi)
+    result = com.apply_into(psi, out)
+    assert result is out and np.array_equal(ref(psi), out)
+    assert np.array_equal(ref.apply_dagger(psi), com.apply_dagger(psi))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_operator_stack_parity(lattice, gauge, backend):
+    """Schur, Normal, DWF, and guarded operators all inherit the tier."""
+    psi = random_fermion(lattice, rng=11)
+    ref_schur = EvenOddWilson(gauge, 0.1, kernel="reference").schur_operator()
+    com_schur = EvenOddWilson(gauge, 0.1, kernel=backend).schur_operator()
+    assert np.array_equal(ref_schur(psi), com_schur(psi))
+    ref_w = WilsonDirac(gauge, 0.1, kernel="reference")
+    com_w = WilsonDirac(gauge, 0.1, kernel=backend)
+    assert np.array_equal(NormalOperator(ref_w)(psi), NormalOperator(com_w)(psi))
+    assert np.array_equal(GuardedOperator(com_w)(psi), ref_w(psi))
+    ref_dwf = DomainWallDirac(gauge, mf=0.04, ls=4, kernel="reference")
+    com_dwf = DomainWallDirac(gauge, mf=0.04, ls=4, kernel=backend)
+    psi5 = _rand_field(
+        np.random.default_rng(13), ref_dwf.field_shape(), np.complex128
+    )
+    assert np.array_equal(ref_dwf(psi5), com_dwf(psi5))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_gamma5_hermiticity(lattice, gauge, backend):
+    """<chi, g5 D g5 psi> == conj(<psi, g5 D^dag g5 chi>) exactly as for
+    the reference tier (identical bits in, identical bits out)."""
+    rng = np.random.default_rng(19)
+    psi = random_fermion(lattice, rng=rng)
+    chi = random_fermion(lattice, rng=rng)
+    op = WilsonDirac(gauge, 0.1, kernel=backend)
+    g5 = gamma5()
+    g5_d_g5 = np.einsum("st,...tc->...sc", g5, op(np.einsum("st,...tc->...sc", g5, psi)))
+    assert np.allclose(g5_d_g5, op.apply_dagger(psi), atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_comm_backend_parity_virtual(lattice, gauge, backend):
+    """Compiled single-domain apply is the truth the SPMD path matches."""
+    psi = random_fermion(lattice, rng=21)
+    single = WilsonDirac(gauge, 0.15, kernel=backend)(psi)
+    dec = DecomposedWilsonDirac(
+        gauge, mass=0.15, comm=VirtualComm(RankGrid((2, 2, 1, 1)))
+    )
+    assert np.allclose(dec.apply(psi), single, atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_comm_backend_parity_shm(lattice, gauge, backend):
+    psi = random_fermion(lattice, rng=21)
+    single = WilsonDirac(gauge, 0.15, kernel=backend)(psi)
+    with ShmComm(RankGrid((2, 1, 1, 1))) as comm:
+        dec = DecomposedWilsonDirac(gauge, mass=0.15, comm=comm)
+        got = dec.apply(psi)
+    assert np.allclose(got, single, atol=1e-12)
+
+
+# -- telemetry gauges ----------------------------------------------------------
+
+
+def test_kernel_selection_gauges(lattice, gauge):
+    with telemetry.telemetry_mode("counters"):
+        telemetry.full_reset()
+        WilsonDirac(gauge, 0.1, kernel="compiled-python")
+        DomainWallDirac(gauge, mf=0.04, ls=4, kernel="reference")
+        EvenOddWilson(gauge, 0.1, kernel="fused")
+        snap = telemetry.snapshot()
+        telemetry.full_reset()
+    gauges = snap["gauges"]
+    assert gauges["kernel/dslash_wilson/backend/compiled-python"] == 1.0
+    assert gauges["kernel/dslash_wilson/threads"] == 1.0
+    assert gauges["kernel/dslash_dwf/backend/reference"] == 1.0
+    assert gauges["kernel/dslash_eo/backend/fused"] == 1.0
+
+
+def test_kernel_selection_gauges_off_by_default(lattice, gauge):
+    """No telemetry mode active -> construction records nothing and costs
+    one attribute check."""
+    WilsonDirac(gauge, 0.1)  # must not raise without an active registry
+
+
+# -- graceful degradation ------------------------------------------------------
+
+
+class TestDegradation:
+    def test_explicit_request_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            kernel_registry, "kernel_available", lambda name: name != "compiled"
+        )
+        with pytest.raises(KernelUnavailableError, match="numba"):
+            resolve_kernel_name("compiled")
+        with pytest.raises(KernelUnavailableError, match="repro\\[compiled\\]"):
+            make_kernel("compiled")
+
+    def test_env_request_falls_back_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(
+            kernel_registry, "kernel_available", lambda name: name != "compiled"
+        )
+        monkeypatch.setattr(kernel_registry, "_env_fallback_warned", False)
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_kernel_name() == "fused"
+        # The latch makes the second resolution silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel_name() == "fused"
+
+    def test_env_fallback_operator_construction(self, monkeypatch, lattice, gauge):
+        """A fleet-wide REPRO_KERNEL=compiled never breaks NumPy-only hosts."""
+        monkeypatch.setattr(
+            kernel_registry, "kernel_available", lambda name: name != "compiled"
+        )
+        monkeypatch.setattr(kernel_registry, "_env_fallback_warned", False)
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        with pytest.warns(RuntimeWarning):
+            op = WilsonDirac(gauge, 0.1)
+        assert op.kernel_name == "fused"
+
+    def test_available_when_dependency_present(self, monkeypatch):
+        monkeypatch.setattr(kernel_registry, "kernel_available", lambda name: True)
+        assert resolve_kernel_name("compiled") == "compiled"
+
+    def test_kernel_available_matches_numba_presence(self):
+        assert kernel_available("compiled") == NUMBA_AVAILABLE
+        assert kernel_available("compiled-python")
+        assert kernel_available("fused")
+        assert not kernel_available("no-such-kernel")
+
+    def test_compiled_python_never_needs_numba(self):
+        assert make_kernel("compiled-python").name == "compiled-python"
+
+    def test_constructor_raises_without_numba(self):
+        if NUMBA_AVAILABLE:
+            pytest.skip("numba installed: constructor path exercised elsewhere")
+        with pytest.raises(KernelUnavailableError, match="numba"):
+            CompiledHopping()
+
+
+# -- jitted tier (numba hosts only) --------------------------------------------
+
+
+@needs_numba
+class TestJitted:
+    def test_jit_matches_python_core(self):
+        rng = np.random.default_rng(47)
+        extents = (3, 4, 5, 2)
+        u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+        psi = _rand_field(rng, extents + (4, 3), np.complex128)
+        jit = CompiledHopping()
+        py = CompiledHopping(jit=False)
+        for phases in ALL_PHASES:
+            assert np.array_equal(py(u, psi, phases), jit(u, psi, phases))
+
+    def test_thread_count_invariance(self):
+        rng = np.random.default_rng(53)
+        extents = (4, 4, 4, 4)
+        u = _rand_field(rng, (4,) + extents + (3, 3), np.complex128)
+        psi = _rand_field(rng, extents + (4, 3), np.complex128)
+        base = CompiledHopping(threads=1)(u, psi, DEFAULT_FERMION_PHASES)
+        multi = CompiledHopping(threads=2)(u, psi, DEFAULT_FERMION_PHASES)
+        assert np.array_equal(base, multi)
+
+    def test_threads_env_knob(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "1")
+        assert CompiledHopping().threads == 1
+        monkeypatch.setenv(THREADS_ENV_VAR, "0")
+        with pytest.raises(ValueError, match=THREADS_ENV_VAR):
+            CompiledHopping()
