@@ -1,0 +1,24 @@
+"""E19 — multi-RHS batching: batched vs looped throughput vs batch width."""
+
+from __future__ import annotations
+
+from repro.bench.e19_batch import e19_batch
+
+
+def test_e19_batch(benchmark, show):
+    table, rows = benchmark.pedantic(e19_batch, rounds=1, iterations=1)
+    show(
+        table,
+        "e19_batch.txt",
+        extra={"rows": rows},
+    )
+    # The speedup is only meaningful against an identical computation.
+    assert all(r["apply_parity"] for r in rows)
+    assert all(r["solve_parity"] for r in rows)
+    assert all(r["converged"] for r in rows)
+    # The batched path must actually amortise link traffic: >= 1.5x
+    # sites*RHS/s at the widest batch over the single-RHS loop.
+    widest = rows[-1]
+    assert widest["nrhs"] == 12
+    assert widest["apply_speedup"] >= 1.5
+    assert widest["solve_speedup"] >= 1.0

@@ -29,6 +29,7 @@ from repro.bench.e15_autocorr import e15_autocorrelation
 from repro.bench.e16_campaign import e16_campaign_resilience
 from repro.bench.e17_guard import e17_guard_overhead
 from repro.bench.e18_telemetry import e18_telemetry_overhead
+from repro.bench.e19_batch import e19_batch
 
 __all__ = [
     "e11_discretizations",
@@ -39,6 +40,7 @@ __all__ = [
     "e16_campaign_resilience",
     "e17_guard_overhead",
     "e18_telemetry_overhead",
+    "e19_batch",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

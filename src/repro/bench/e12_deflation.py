@@ -58,15 +58,32 @@ def e12_deflation(
                 "breakeven_solves": (
                     setup / max(baseline_iters - res.iterations, 1) if k else 0.0
                 ),
+                # Per-solve wall time makes deflation-reuse economics
+                # directly comparable with the E19 batching numbers.
+                "wall_time_s": res.wall_time,
             }
         )
 
     table = Table(
         f"E12 — deflation ablation (n={n}, {n_low} clustered low modes, tol={tol:g})",
-        ["k deflated", "CG iters", "iter speedup", "setup applies", "break-even #solves"],
+        [
+            "k deflated",
+            "CG iters",
+            "iter speedup",
+            "setup applies",
+            "break-even #solves",
+            "per-solve wall s",
+        ],
     )
     for r in rows:
         table.add_row(
-            [r["k"], r["iterations"], r["speedup_iters"], r["setup_applies"], r["breakeven_solves"]]
+            [
+                r["k"],
+                r["iterations"],
+                r["speedup_iters"],
+                r["setup_applies"],
+                r["breakeven_solves"],
+                r["wall_time_s"],
+            ]
         )
     return table, rows

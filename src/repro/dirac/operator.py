@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.workspace import Workspace
-from repro.telemetry.instruments import timed_apply
+from repro.telemetry.instruments import timed_apply, timed_apply_batch
 from repro.telemetry.state import STATE
 
 __all__ = ["LinearOperator", "MatrixOperator", "NormalOperator"]
@@ -69,6 +69,49 @@ class LinearOperator:
         """Write ``self.apply_dagger(x)`` into ``out`` (must not alias ``x``)."""
         np.copyto(out, self.apply_dagger(x))
         return out
+
+    def apply_batch_into(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``self.apply(X[i])`` into ``out[i]`` for an (nrhs, ...) block.
+
+        Fallback: column-at-a-time over :meth:`apply_into`, so every
+        operator supports the multi-RHS protocol and the fallback is
+        *definitionally* bit-identical per column.  Operators with a
+        batched kernel override this to stream links once per block.
+        """
+        for i in range(X.shape[0]):
+            self.apply_into(X[i], out[i])
+        return out
+
+    def apply_dagger_batch_into(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``self.apply_dagger(X[i])`` into ``out[i]`` per column."""
+        for i in range(X.shape[0]):
+            self.apply_dagger_into(X[i], out[i])
+        return out
+
+    def apply_batch(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Counted multi-RHS application (the batched analogue of ``op(x)``).
+
+        Advances ``n_applies`` by ``nrhs`` — a batched apply is the same
+        nominal work as ``nrhs`` single applies — and routes telemetry
+        through :func:`timed_apply_batch`.
+        """
+        self.n_applies += X.shape[0]
+        if STATE.active:
+            return timed_apply_batch(self, X, out)
+        if out is None:
+            out = np.empty_like(X)
+        return self.apply_batch_into(X, out)
+
+    def apply_dagger_batch(
+        self, X: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Counted multi-RHS adjoint application."""
+        self.n_applies += X.shape[0]
+        if STATE.active:
+            return timed_apply_batch(self, X, out, dagger=True)
+        if out is None:
+            out = np.empty_like(X)
+        return self.apply_dagger_batch_into(X, out)
 
     def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         self.n_applies += 1
@@ -145,3 +188,11 @@ class NormalOperator(LinearOperator):
 
     def apply_dagger_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
         return self.apply_into(x, out)  # Hermitian by construction
+
+    def apply_batch_into(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        tmp = self.workspace.get(X.shape, X.dtype, "normal.batch.tmp")
+        self.inner.apply_batch_into(X, tmp)
+        return self.inner.apply_dagger_batch_into(tmp, out)
+
+    def apply_dagger_batch_into(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return self.apply_batch_into(X, out)  # Hermitian by construction

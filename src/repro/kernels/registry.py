@@ -55,6 +55,7 @@ __all__ = [
     "kernel_available",
     "resolve_kernel_name",
     "make_kernel",
+    "loop_apply_batch",
 ]
 
 KERNEL_ENV_VAR = "REPRO_KERNEL"
@@ -72,6 +73,21 @@ class KernelUnavailableError(RuntimeError):
     """
 
 
+def loop_apply_batch(kernel, u, X, phases, out=None):
+    """Column-at-a-time fallback for the ``apply_batch_into`` protocol.
+
+    ``X`` is an (nrhs, T, Z, Y, X, 4, 3) RHS block; each column goes
+    through the kernel's single-RHS path, so the result is *definitionally*
+    bit-identical per column — this is the oracle the batched
+    implementations are parity-tested against.
+    """
+    if out is None:
+        out = np.empty_like(X)
+    for i in range(X.shape[0]):
+        kernel(u, X[i], phases, out=out[i])
+    return out
+
+
 class ReferenceHopping:
     """The roll-based specification kernel behind the registry protocol."""
 
@@ -87,6 +103,9 @@ class ReferenceHopping:
             raise ValueError("hopping kernel output must not alias the input field")
         np.copyto(out, result)
         return out
+
+    def apply_batch_into(self, u, X, phases, out=None):
+        return loop_apply_batch(self, u, X, phases, out)
 
 
 class NaiveHopping:
@@ -106,6 +125,9 @@ class NaiveHopping:
             raise ValueError("hopping kernel output must not alias the input field")
         np.copyto(out, result)
         return out
+
+    def apply_batch_into(self, u, X, phases, out=None):
+        return loop_apply_batch(self, u, X, phases, out)
 
 
 def _make_compiled():

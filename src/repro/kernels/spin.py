@@ -32,7 +32,14 @@ import numpy as np
 
 from repro.gammas.gamma import _A_BLOCKS
 
-__all__ = ["PROJECT_ROWS", "RECON_ROWS", "project_into", "reconstruct_accumulate"]
+__all__ = [
+    "PROJECT_ROWS",
+    "RECON_ROWS",
+    "project_into",
+    "reconstruct_accumulate",
+    "project_batch_into",
+    "reconstruct_batch_accumulate",
+]
 
 
 def _sparse_rows(m: np.ndarray) -> tuple[tuple[int, complex], ...]:
@@ -120,6 +127,60 @@ def reconstruct_accumulate(
             lower_out -= h
         return out
     hq = h[..., ::-1, :] if swap else h
+    np.multiply(hq, _coeff(col, s, h.dtype), out=scratch)
+    lower_out += scratch
+    return out
+
+
+# -- colour-major batched forms ------------------------------------------------
+#
+# The multi-RHS kernel keeps fields in the colour-major layout
+# (..., 3, spin, nrhs) so the SU(3) multiply runs as one long-inner-loop
+# einsum (see :func:`repro.kernels.color.color_mul_batch_into`).  In that
+# layout the spin axis sits at -2 exactly as in the single-RHS layout, so
+# the same swap-view/coefficient-column machinery applies verbatim: the
+# (2, 1) coefficient column aligns with (spin, rhs) here instead of
+# (spin, colour), broadcasting over the RHS minor axis and the colour
+# axis at -3.  Every coefficient is 0, +-1 or +-i and ufunc multiplies
+# are elementwise regardless of loop structure, so the batched forms
+# agree bit-for-bit with their single-RHS counterparts per column.
+
+
+def project_batch_into(h: np.ndarray, psi: np.ndarray, mu: int, s: int) -> np.ndarray:
+    """Colour-major batched :func:`project_into`.
+
+    ``psi`` has shape (..., 3, 4, nrhs); ``h`` has shape (..., 3, 2, nrhs).
+    """
+    swap, col = _PROJECT_FORM[mu]
+    upper = psi[..., :, 0:2, :]
+    lower = psi[..., :, 3:1:-1, :] if swap else psi[..., :, 2:4, :]
+    if _is_identity(swap, col):
+        op = np.add if s > 0 else np.subtract
+        op(upper, lower, out=h)
+        return h
+    np.multiply(lower, _coeff(col, s, psi.dtype), out=h)
+    h += upper
+    return h
+
+
+def reconstruct_batch_accumulate(
+    out: np.ndarray, h: np.ndarray, mu: int, s: int, scratch: np.ndarray
+) -> np.ndarray:
+    """Colour-major batched :func:`reconstruct_accumulate`.
+
+    ``out`` has shape (..., 3, 4, nrhs), ``h`` (..., 3, 2, nrhs);
+    ``scratch`` matches ``h``.
+    """
+    out[..., :, 0:2, :] += h
+    swap, col = _RECON_FORM[mu]
+    lower_out = out[..., :, 2:4, :]
+    if _is_identity(swap, col):
+        if s > 0:
+            lower_out += h
+        else:
+            lower_out -= h
+        return out
+    hq = h[..., :, ::-1, :] if swap else h
     np.multiply(hq, _coeff(col, s, h.dtype), out=scratch)
     lower_out += scratch
     return out

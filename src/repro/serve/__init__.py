@@ -1,0 +1,25 @@
+"""Request-batching solve serving: the "heavy traffic" front end.
+
+Production lattice traffic is thousands of solves against the same gauge
+background — propagators are 12 right-hand sides each, stochastic
+estimators hundreds.  :class:`~repro.serve.queue.SolveQueue` turns
+independently *submitted* solve requests into batched *executed* solves:
+submit returns a future immediately, compatible requests (same operator,
+same solve parameters) coalesce into multi-RHS blocks, and one
+:func:`~repro.solvers.block.solve_wilson_batch` serves the whole block
+with links streamed once per iteration.
+"""
+
+from repro.serve.queue import (
+    BATCH_NRHS_ENV_VAR,
+    DEFAULT_MAX_NRHS,
+    SolveQueue,
+    SolveRequest,
+)
+
+__all__ = [
+    "BATCH_NRHS_ENV_VAR",
+    "DEFAULT_MAX_NRHS",
+    "SolveQueue",
+    "SolveRequest",
+]

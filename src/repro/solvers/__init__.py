@@ -19,6 +19,7 @@ from repro.solvers.mixed import mixed_precision_cg
 from repro.solvers.wilson_solve import solve_wilson, solve_wilson_eo
 from repro.solvers.lanczos import lanczos, EigenPairs
 from repro.solvers.deflation import deflated_cg
+from repro.solvers.block import block_cg, solve_wilson_batch
 from repro.solvers.spmd import cg_spmd
 
 __all__ = [
@@ -33,5 +34,7 @@ __all__ = [
     "lanczos",
     "EigenPairs",
     "deflated_cg",
+    "block_cg",
+    "solve_wilson_batch",
     "cg_spmd",
 ]

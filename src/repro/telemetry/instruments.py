@@ -15,11 +15,16 @@ Counter names they emit (the counter-exactness goldens pin these):
     counts (1320/site Wilson Dslash class).
 ``sites/<label>``
     Lattice sites processed (x ``Ls`` for 5-D domain-wall fields).
+``batch/<label>/applies`` and ``batch/<label>/rhs``
+    Batched (multi-RHS) operator applications and the RHS columns they
+    carried — ``rhs / applies`` is the achieved mean batch width.
 """
 
 from __future__ import annotations
 
 import time
+
+import numpy as np
 
 from repro.telemetry.registry import get_registry
 from repro.telemetry.spans import get_trace_buffer
@@ -28,6 +33,7 @@ from repro.telemetry.state import STATE
 __all__ = [
     "operator_label",
     "timed_apply",
+    "timed_apply_batch",
     "record_kernel_selection",
     "record_solve",
 ]
@@ -64,6 +70,40 @@ def timed_apply(op, x, out):
         sites = getattr(op, "telemetry_sites", 0)
         if sites:
             reg.add(f"sites/{label}", sites)
+        if tracing:
+            get_trace_buffer().add_complete(
+                label, t0, time.perf_counter_ns(), cat="operator"
+            )
+    return result
+
+
+def timed_apply_batch(op, X, out, dagger=False):
+    """One instrumented multi-RHS application over an ``(nrhs, ...)`` block.
+
+    The per-RHS counters (applies/flops/sites) advance by ``nrhs`` so the
+    counter-exactness goldens see a batched solve as exactly the same
+    work as the equivalent looped solve; the ``batch/*`` pair records the
+    batching itself.
+    """
+    nrhs = X.shape[0]
+    tracing = STATE.tracing
+    if tracing:
+        t0 = time.perf_counter_ns()
+    if out is None:
+        out = np.empty_like(X)
+    result = (
+        op.apply_dagger_batch_into(X, out) if dagger else op.apply_batch_into(X, out)
+    )
+    if STATE.counting:
+        label = operator_label(op)
+        reg = get_registry()
+        reg.add(f"applies/{label}", nrhs)
+        reg.add(f"flops/{label}", op.flops_per_apply * nrhs)
+        sites = getattr(op, "telemetry_sites", 0)
+        if sites:
+            reg.add(f"sites/{label}", sites * nrhs)
+        reg.add(f"batch/{label}/applies", 1)
+        reg.add(f"batch/{label}/rhs", nrhs)
         if tracing:
             get_trace_buffer().add_complete(
                 label, t0, time.perf_counter_ns(), cat="operator"

@@ -10,4 +10,7 @@ stage of a production campaign:
 * ``run_campaign``      — fault-tolerant checkpoint/resume campaign driver;
 * ``check_config``      — SDC audit of stored configs (CRC, unitarity,
   plaquette vs header metadata); nonzero exit on violation.
+* ``serve``             — coalescing solve-queue smoke: submit a request
+  burst, report batching factor and throughput; nonzero exit on any
+  non-converged solve.
 """

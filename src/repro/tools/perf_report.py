@@ -83,6 +83,20 @@ def capture_snapshot() -> dict:
         comm = VirtualComm(RankGrid((1, 1, 2, 2)))
         dop = DecomposedWilsonDirac(gauge, mass=0.2, comm=comm)
         cg_spmd(dop, psi, tol=1e-6, max_iter=2000, guard="off")
+        # Coalesced multi-RHS solve through the serve queue (synchronous
+        # flush: no coalesce-wait wall clock, so the ``serve/*`` and
+        # ``batch/*`` counters are deterministic nominal counts).
+        from repro.fields import point_source
+        from repro.serve import SolveQueue
+
+        queue = SolveQueue(max_nrhs=3)
+        futures = [
+            queue.submit(wilson, point_source(lat, (0, 0, 0, 0), spin=s, color=c))
+            for s, c in ((0, 0), (0, 1), (1, 2), (3, 0))
+        ]
+        queue.flush()
+        for f in futures:
+            f.result(timeout=0)
         # Plaquette sweep.
         average_plaquette(gauge.u)
         snap = telemetry.snapshot()
