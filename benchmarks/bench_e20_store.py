@@ -1,0 +1,29 @@
+"""E20 — ensemble store serving: cold-vs-warm request latency ratio."""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.bench import e20_store
+
+
+def test_e20_store(benchmark, show):
+    with tempfile.TemporaryDirectory() as tmp:
+        table, rows = benchmark.pedantic(
+            e20_store, args=(tmp,), rounds=1, iterations=1
+        )
+    show(
+        table,
+        "e20_store.txt",
+        extra={"rows": rows},
+    )
+    # A cached answer is only a win if it is the *same* answer.
+    assert all(r["values_identical"] for r in rows)
+    # Every warm request must be a hit that does zero operator applies.
+    for r in rows:
+        assert r["warm_misses"] == 0
+        assert r["warm_hits"] == r["n_requests"]
+        assert r["warm_applies"] == 0
+    # The reuse gate: >= 10x cold/warm latency on the solver-bound row.
+    heavy = next(r for r in rows if r["observable"] == "correlators")
+    assert heavy["speedup"] >= 10.0, heavy

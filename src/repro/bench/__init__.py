@@ -30,6 +30,7 @@ from repro.bench.e16_campaign import e16_campaign_resilience
 from repro.bench.e17_guard import e17_guard_overhead
 from repro.bench.e18_telemetry import e18_telemetry_overhead
 from repro.bench.e19_batch import e19_batch
+from repro.bench.e20_store import e20_store
 
 __all__ = [
     "e11_discretizations",
@@ -41,6 +42,7 @@ __all__ = [
     "e17_guard_overhead",
     "e18_telemetry_overhead",
     "e19_batch",
+    "e20_store",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

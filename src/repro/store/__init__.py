@@ -1,0 +1,49 @@
+"""Content-addressed ensemble storage and memoised measurement serving.
+
+The reuse layer of the production stack (ROADMAP: "ensemble store +
+memoised measurement serving").  Configurations stop being loose files:
+:class:`~repro.store.ensemble.EnsembleStore` addresses each one by a
+canonical hash of exactly what produced it (action, couplings, volume,
+trajectory, RNG lineage — :mod:`repro.store.keys`), stores it through the
+hardened CRC-stamped :mod:`repro.io` path, and journals the index with the
+campaign :class:`~repro.campaign.ledger.Ledger`.  Measurements stop being
+recomputed: :class:`~repro.store.cache.MeasurementCache` memoises
+(config key, observable, params, kernel/precision env) -> result, with
+journaled, fault-aware invalidation; and
+:class:`~repro.store.service.MeasurementService` is the request front end
+that routes cold propagator solves through the coalescing
+:class:`repro.serve.SolveQueue` and serves warm repeats in O(1).
+
+Telemetry: ``store/puts|gets|dedup|ingested`` on the store,
+``store/hits|misses|invalidations`` on the cache (E20 measures the
+cold/warm serving economics).
+"""
+
+from repro.store.cache import MeasurementCache, MeasurementRequest
+from repro.store.ensemble import EnsembleStore, StoreError, StoreKeyCollision
+from repro.store.keys import (
+    CONFIG_KEY_SCHEMA,
+    REQUEST_KEY_SCHEMA,
+    canonical_json,
+    config_key,
+    content_key,
+    request_key,
+)
+from repro.store.service import OBSERVABLES, MeasurementService, queued_point_propagator
+
+__all__ = [
+    "CONFIG_KEY_SCHEMA",
+    "EnsembleStore",
+    "MeasurementCache",
+    "MeasurementRequest",
+    "MeasurementService",
+    "OBSERVABLES",
+    "REQUEST_KEY_SCHEMA",
+    "StoreError",
+    "StoreKeyCollision",
+    "canonical_json",
+    "config_key",
+    "content_key",
+    "queued_point_propagator",
+    "request_key",
+]

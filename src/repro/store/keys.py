@@ -1,0 +1,120 @@
+"""Canonical keys for content-addressed storage and memoised serving.
+
+Every artefact the store manages is addressed by a SHA-256 over a
+*canonical JSON* rendering of exactly what produced it — the Chroma
+measurement-database discipline (PAPERS.md: hep-lat/0409003): two runs
+that agree on the key agree on the bytes, and any parameter that can
+change the bytes must be in the key.
+
+Two key schemas:
+
+``repro-config-key/1``
+    One gauge configuration: gauge action name, couplings, lattice
+    volume, trajectory/sweep number, and the RNG lineage (seed plus the
+    generation algorithm) that makes the Markov chain deterministic.
+    The fields mirror the resume-refusing ``_PHYSICS_FIELDS`` of
+    :class:`~repro.campaign.runner.CampaignConfig`: anything that would
+    splice a different chain produces a different key.
+
+``repro-request-key/1``
+    One measurement request: the configuration key it runs on, the
+    observable name, its physics parameters, and the environment knobs
+    that are *allowed* to matter to the bytes (kernel tier, working
+    precision).  All kernel tiers are bit-identical by contract, but the
+    key keeps the knob anyway — a cache must never have to trust that
+    contract to stay correct.
+
+Canonical JSON is ``json.dumps(..., sort_keys=True)`` with compact
+separators; Python serialises float64 via shortest round-trip ``repr``,
+so keys built from floats are exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "CONFIG_KEY_SCHEMA",
+    "REQUEST_KEY_SCHEMA",
+    "canonical_json",
+    "content_key",
+    "config_key",
+    "request_key",
+]
+
+CONFIG_KEY_SCHEMA = "repro-config-key/1"
+REQUEST_KEY_SCHEMA = "repro-request-key/1"
+
+
+def _plain(value):
+    """Reduce a value to canonical-JSON-able plain Python, deterministically."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, complex):
+        return {"re": value.real, "im": value.imag}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"value {value!r} ({type(value).__name__}) is not key material")
+
+
+def canonical_json(payload: dict) -> str:
+    """The one true serialisation a key hash is computed over."""
+    return json.dumps(_plain(payload), sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def config_key(
+    shape: tuple[int, ...],
+    action: str,
+    couplings: dict,
+    trajectory: int,
+    rng: dict,
+) -> str:
+    """The content address of one gauge configuration.
+
+    ``couplings`` carries every action parameter (``beta``, masses, ...);
+    ``rng`` the generation lineage — at minimum ``{"seed": ..., "algorithm":
+    ...}``, plus whatever else steered the stream (thermalisation sweeps,
+    separation, start).  Same key => same Markov chain state => same bytes.
+    """
+    return content_key(
+        {
+            "schema": CONFIG_KEY_SCHEMA,
+            "shape": list(shape),
+            "action": str(action),
+            "couplings": couplings,
+            "trajectory": int(trajectory),
+            "rng": rng,
+        }
+    )
+
+
+def request_key(
+    config_key: str,
+    observable: str,
+    params: dict | None = None,
+    env: dict | None = None,
+) -> str:
+    """The memoisation key of one measurement request."""
+    return content_key(
+        {
+            "schema": REQUEST_KEY_SCHEMA,
+            "config": str(config_key),
+            "observable": str(observable),
+            "params": params or {},
+            "env": env or {},
+        }
+    )

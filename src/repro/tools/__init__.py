@@ -11,6 +11,11 @@ stage of a production campaign:
 * ``check_config``      — SDC audit of stored configs (CRC, unitarity,
   plaquette vs header metadata); nonzero exit on violation.
 * ``serve``             — coalescing solve-queue smoke: submit a request
-  burst, report batching factor and throughput; nonzero exit on any
-  non-converged solve.
+  burst, report batching factor, throughput and the ``serve/*``
+  counters; nonzero exit on any non-converged solve.
+* ``store``             — content-addressed ensemble store: ingest loose
+  ensembles or campaign checkpoints, list/export/audit/gc stored
+  configs, and serve cached measurements (``store/*`` counter summary,
+  ``--sync-faults`` applies a campaign's heal/rollback journal to the
+  measurement cache first).
 """

@@ -4,6 +4,12 @@ Usage::
 
     python -m repro.tools.check_config ./ensemble            # every cfg_*.npz
     python -m repro.tools.check_config cfg_0003.npz another.npz
+    python -m repro.tools.check_config ./store               # EnsembleStore root
+
+A directory containing ``store.json`` is audited as a content-addressed
+:class:`~repro.store.EnsembleStore`: every *live index entry* is checked
+(``--store`` forces this interpretation), so an indexed object that has
+vanished from disk is a failure (rc 2), not a silent skip.
 
 For each configuration, three independent rings of validation:
 
@@ -17,8 +23,9 @@ For each configuration, three independent rings of validation:
    ``plaquette`` stamp when one is present (catches value-level damage
    that somehow kept links unitary).
 
-Exit status: 0 when every file is clean, 1 when any physics check failed,
-2 when any file was unreadable or failed its CRC.
+Exit status aggregates worst-of across every audited file: 0 when all are
+clean, 1 when any physics check failed, 2 when any file was unreadable,
+missing, or failed its CRC.
 """
 
 from __future__ import annotations
@@ -48,19 +55,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="max allowed |<plaq> - header plaquette| (default 1e-9)",
     )
     p.add_argument("--quiet", action="store_true", help="only print failures")
+    p.add_argument(
+        "--store", action="store_true",
+        help="treat directory arguments as EnsembleStore roots "
+        "(auto-detected from store.json otherwise)",
+    )
     return p
 
 
-def _expand(paths: list[Path]) -> list[Path]:
-    out: list[Path] = []
+def _expand(paths: list[Path], store: bool = False) -> list[tuple[str, Path]]:
+    """Expand arguments to ``(label, path)`` audit targets.
+
+    Store roots expand to their live index entries; an indexed object whose
+    file is missing keeps its (nonexistent) path so the audit reports it as
+    rc 2 instead of skipping it.
+    """
+    from repro.store import EnsembleStore
+
+    out: list[tuple[str, Path]] = []
     for p in paths:
-        if p.is_dir():
+        if p.is_dir() and (store or EnsembleStore.is_store(p)):
+            st = EnsembleStore(p, create=False)
+            if not len(st):
+                raise FileNotFoundError(f"store {p} has no live index entries")
+            out.extend((f"{p}:{key[:16]}", st.path_for(key)) for key in st.keys())
+        elif p.is_dir():
             found = sorted(p.glob("cfg_*.npz"))
             if not found:
                 raise FileNotFoundError(f"no cfg_*.npz files in {p}")
-            out.extend(found)
+            out.extend((str(f), f) for f in found)
         else:
-            out.append(p)
+            out.append((str(p), p))
     return out
 
 
@@ -109,17 +134,17 @@ def check_file(
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        files = _expand(args.paths)
+        files = _expand(args.paths, store=args.store)
     except FileNotFoundError as e:
         print(f"error: {e}")
         return 2
     rc = 0
-    for path in files:
+    for label, path in files:
         file_rc, message = check_file(
             path, unitarity_tol=args.unitarity_tol, plaquette_tol=args.plaquette_tol
         )
         if file_rc or not args.quiet:
-            print(f"{path}: {message}")
+            print(f"{label}: {message}")
         rc = max(rc, file_rc)
     if rc and not args.quiet:
         print(f"FAILED: silent-data-corruption audit found problems (exit {rc})")

@@ -32,6 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overrelax", type=int, default=2, help="OR sweeps per heatbath sweep")
     p.add_argument("--seed", type=int, default=12345)
     p.add_argument("--out", type=Path, required=True, help="output directory")
+    p.add_argument(
+        "--store", type=Path, default=None, metavar="ROOT",
+        help="also register each config into the content-addressed "
+        "EnsembleStore at ROOT (created if absent)",
+    )
     return p
 
 
@@ -45,8 +50,18 @@ def generate_ensemble(
     n_or: int = 2,
     seed: int = 12345,
     verbose: bool = True,
+    store=None,
 ) -> list[Path]:
-    """Run the generation chain and write ``cfg_*.npz``; returns the paths."""
+    """Run the generation chain and write ``cfg_*.npz``; returns the paths.
+
+    ``store`` (an :class:`~repro.store.EnsembleStore` or a root path)
+    additionally registers every configuration under its canonical
+    provenance key, so the chain's output is immediately servable.
+    """
+    if store is not None and not hasattr(store, "put"):
+        from repro.store import EnsembleStore
+
+        store = EnsembleStore(store)
     rng = np.random.default_rng(seed)
     lattice = Lattice4D(tuple(shape))
     gauge = GaugeField.hot(lattice, rng=rng)
@@ -67,10 +82,37 @@ def generate_ensemble(
         gauge.reunitarize()
         plaq = average_plaquette(gauge.u)
         path = out_dir / f"cfg_{i:04d}.npz"
-        save_gauge(path, gauge, beta=beta, index=i, plaquette=plaq, seed=seed)
+        # The full RNG lineage is stamped so a later store ingest of these
+        # loose files derives the identical content key as --store does now.
+        save_gauge(
+            path, gauge, beta=beta, index=i, plaquette=plaq, seed=seed,
+            therm=therm, separation=separation, n_or=n_or,
+        )
         paths.append(path)
+        key = None
+        if store is not None:
+            key = store.put(
+                gauge,
+                {
+                    "action": "wilson",
+                    "couplings": {"beta": beta},
+                    "trajectory": i,
+                    "rng": {
+                        "seed": seed,
+                        "algorithm": "heatbath+or",
+                        "therm": therm,
+                        "separation": separation,
+                        "n_or": n_or,
+                    },
+                    "source": out_dir.name,
+                },
+                plaquette=plaq,
+            )
         if verbose:
-            print(f"cfg {i:4d}: plaquette = {plaq:.6f} -> {path}")
+            print(
+                f"cfg {i:4d}: plaquette = {plaq:.6f} -> {path}"
+                + (f"  [store {key[:12]}]" if key else "")
+            )
     return paths
 
 
@@ -85,8 +127,12 @@ def main(argv: list[str] | None = None) -> int:
         separation=args.separation,
         n_or=args.overrelax,
         seed=args.seed,
+        store=args.store,
     )
-    print(f"wrote {len(paths)} configurations to {args.out}")
+    print(
+        f"wrote {len(paths)} configurations to {args.out}"
+        + (f" (registered in store {args.store})" if args.store else "")
+    )
     return 0
 
 

@@ -7,7 +7,11 @@ and sites*RHS/s, plus per-request convergence.  Exit status is nonzero
 if any request fails to converge — the same contract as the other
 ``repro.tools`` production stages.
 
-    python -m repro.tools.serve --dims 4 4 4 4 --requests 12 --max-nrhs 6
+    python -m repro.tools.serve --dims 4 4 4 4 --requests 12 --nrhs 6
+
+On exit the ``serve/*`` telemetry counters (requests, batches, coalesced
+RHS columns) are printed, so the achieved batching factor is visible
+without enabling telemetry by hand.
 """
 
 from __future__ import annotations
@@ -22,6 +26,9 @@ from repro.dirac.wilson import WilsonDirac
 from repro.fields import GaugeField, point_source
 from repro.lattice import Lattice4D
 from repro.serve import SolveQueue
+from repro.telemetry import telemetry_mode
+from repro.telemetry.registry import get_registry
+from repro.telemetry.state import STATE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,8 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve requests to submit (spin/colour point sources, cycled)",
     )
     p.add_argument(
-        "--max-nrhs", type=int, default=None,
-        help="batch-width cap (default: $REPRO_BATCH_NRHS, then 12)",
+        "--nrhs", "--max-nrhs", dest="max_nrhs", type=int, default=None,
+        help="batch-width cap, i.e. $REPRO_BATCH_NRHS as a flag "
+        "(default: the env var, then 12)",
     )
     p.add_argument("--tol", type=float, default=1e-8, help="solve tolerance")
     p.add_argument(
@@ -61,24 +69,33 @@ def main(argv: list[str] | None = None) -> int:
         for s in range(4)
         for c in range(3)
     ]
-    t0 = time.perf_counter()
-    if args.background:
-        with queue:
+    # Counters stay on for the run so the exit summary is always available;
+    # an already-active mode (e.g. REPRO_TELEMETRY=trace) is left alone.
+    with telemetry_mode(STATE.mode if STATE.counting else "counters"):
+        counters0 = dict(get_registry().counters())
+        t0 = time.perf_counter()
+        if args.background:
+            with queue:
+                futures = [
+                    queue.submit(
+                        dirac, sources[i % len(sources)], tol=args.tol
+                    )
+                    for i in range(args.requests)
+                ]
+                results = [f.result(timeout=600) for f in futures]
+        else:
             futures = [
-                queue.submit(
-                    dirac, sources[i % len(sources)], tol=args.tol
-                )
+                queue.submit(dirac, sources[i % len(sources)], tol=args.tol)
                 for i in range(args.requests)
             ]
-            results = [f.result(timeout=600) for f in futures]
-    else:
-        futures = [
-            queue.submit(dirac, sources[i % len(sources)], tol=args.tol)
-            for i in range(args.requests)
-        ]
-        n_batches = queue.flush()
-        results = [f.result(timeout=0) for f in futures]
-    elapsed = time.perf_counter() - t0
+            queue.flush()
+            results = [f.result(timeout=0) for f in futures]
+        elapsed = time.perf_counter() - t0
+        serve_counters = {
+            k: v - counters0.get(k, 0)
+            for k, v in get_registry().counters().items()
+            if k.startswith("serve/") and v != counters0.get(k, 0)
+        }
 
     n = len(results)
     converged = sum(r.converged for r in results)
@@ -97,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{n * lat.volume / elapsed:.3e} sites*RHS/s  "
         f"({elapsed:.2f} s total)"
     )
+    for name in sorted(serve_counters):
+        print(f"  {name} = {serve_counters[name]}")
     return 0 if converged == n else 1
 
 

@@ -1,0 +1,197 @@
+"""Ensemble-store operations: ingest, list, export, audit, gc, serve.
+
+Usage::
+
+    python -m repro.tools.store ingest ./ensemble --root ./store
+    python -m repro.tools.store ingest ./campaign --root ./store --campaign
+    python -m repro.tools.store ls --root ./store
+    python -m repro.tools.store get <key> --root ./store --out cfg.npz
+    python -m repro.tools.store audit --root ./store
+    python -m repro.tools.store gc --root ./store
+    python -m repro.tools.store serve --root ./store --observable plaquette \
+        --repeat 2 --sync-faults ./campaign
+
+``audit`` exits worst-of like ``check_config`` (0 clean / 1 physics /
+2 container); ``serve`` runs every stored config through the cached
+measurement service and prints the ``store/*`` counter summary, so a
+second ``--repeat`` pass visibly turns misses into hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.store import EnsembleStore, MeasurementService
+from repro.telemetry import telemetry_mode
+from repro.telemetry.registry import get_registry
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser("ingest", help="ingest configs into the store")
+    ingest.add_argument("source", type=Path, help="ensemble or campaign directory")
+    ingest.add_argument("--root", type=Path, required=True, help="store root")
+    ingest.add_argument(
+        "--campaign", action="store_true",
+        help="treat source as an HMC campaign directory (ingest checkpoints)",
+    )
+
+    ls = sub.add_parser("ls", help="list stored configurations")
+    ls.add_argument("--root", type=Path, required=True)
+    ls.add_argument("--json", action="store_true", help="full entries as JSON lines")
+
+    get = sub.add_parser("get", help="export one configuration to an npz file")
+    get.add_argument("key", help="configuration key (unique prefix accepted)")
+    get.add_argument("--root", type=Path, required=True)
+    get.add_argument("--out", type=Path, required=True, help="output npz path")
+
+    audit = sub.add_parser("audit", help="validate every stored object")
+    audit.add_argument("--root", type=Path, required=True)
+    audit.add_argument("--quiet", action="store_true", help="only print failures")
+
+    gc = sub.add_parser("gc", help="delete unreferenced object files")
+    gc.add_argument("--root", type=Path, required=True)
+
+    serve = sub.add_parser("serve", help="cached measurement sweep over the store")
+    serve.add_argument("--root", type=Path, required=True)
+    serve.add_argument(
+        "--observable", default="plaquette",
+        help="observable to serve (plaquette/observables/correlators/spectrum)",
+    )
+    serve.add_argument(
+        "--params", default="{}", help="observable parameters as a JSON object"
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="serve the whole sweep this many times (repeats hit the cache)",
+    )
+    serve.add_argument(
+        "--sync-faults", type=Path, default=None, metavar="CAMPAIGN_DIR",
+        help="apply a campaign's fault journal to the cache before serving",
+    )
+    return p
+
+
+def _resolve_key(store: EnsembleStore, prefix: str) -> str:
+    matches = [k for k in store.keys() if k.startswith(prefix)]
+    if not matches:
+        raise KeyError(f"no stored key starts with {prefix!r}")
+    if len(matches) > 1:
+        raise KeyError(f"key prefix {prefix!r} is ambiguous ({len(matches)} matches)")
+    return matches[0]
+
+
+def _cmd_ingest(args) -> int:
+    store = EnsembleStore(args.root)
+    if args.campaign:
+        keys = store.ingest_campaign(args.source)
+    else:
+        keys = store.ingest_directory(args.source)
+    for key in keys:
+        print(f"ingested {key}")
+    print(f"{len(keys)} configuration(s) -> {args.root} ({len(store)} total)")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    store = EnsembleStore(args.root, create=False)
+    for key, entry in store:
+        if args.json:
+            print(json.dumps(entry, sort_keys=True))
+            continue
+        prov = entry.get("provenance", {})
+        plaq = entry.get("plaquette")
+        print(
+            f"{key[:16]}  shape={tuple(entry.get('shape', ()))}"
+            f"  traj={prov.get('trajectory')}"
+            f"  couplings={prov.get('couplings')}"
+            + (f"  plaquette={plaq:.6f}" if plaq is not None else "")
+        )
+    print(f"{len(store)} configuration(s) in {args.root}")
+    return 0
+
+
+def _cmd_get(args) -> int:
+    from repro.io import save_gauge
+
+    store = EnsembleStore(args.root, create=False)
+    key = _resolve_key(store, args.key)
+    gauge, meta = store.get(key)
+    save_gauge(args.out, gauge, **meta)
+    print(f"{key} -> {args.out}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    store = EnsembleStore(args.root, create=False)
+    rc = 0
+    for key, file_rc, message in store.audit():
+        if file_rc or not args.quiet:
+            print(f"{key[:16]}: {message}")
+        rc = max(rc, file_rc)
+    if rc and not args.quiet:
+        print(f"FAILED: store audit found problems (exit {rc})")
+    else:
+        print(f"audited {len(store)} object(s)")
+    return rc
+
+
+def _cmd_gc(args) -> int:
+    store = EnsembleStore(args.root, create=False)
+    removed = store.gc()
+    for path in removed:
+        print(f"removed {path}")
+    print(f"gc: {len(removed)} unreferenced object(s) deleted")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    store = EnsembleStore(args.root, create=False)
+    service = MeasurementService(store)
+    params = json.loads(args.params)
+    with telemetry_mode("counters"):
+        if args.sync_faults is not None:
+            evicted = service.sync_campaign_faults(args.sync_faults)
+            print(f"fault sync: {evicted} cache entr(ies) invalidated")
+        for rep in range(args.repeat):
+            t0 = time.perf_counter()
+            results = service.serve_ensemble(args.observable, params)
+            elapsed = time.perf_counter() - t0
+            print(
+                f"pass {rep + 1}: served {len(results)} request(s) "
+                f"in {elapsed:.3f} s ({elapsed / max(1, len(results)):.4f} s/req)"
+            )
+        counters = get_registry().counters()
+    for name in sorted(counters):
+        if name.startswith("store/"):
+            print(f"  {name} = {counters[name]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "ingest": _cmd_ingest,
+        "ls": _cmd_ls,
+        "get": _cmd_get,
+        "audit": _cmd_audit,
+        "gc": _cmd_gc,
+        "serve": _cmd_serve,
+    }[args.command]
+    try:
+        return handler(args)
+    except (FileNotFoundError, KeyError) as e:
+        print(f"error: {e}")
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
