@@ -1,0 +1,27 @@
+"""E21 — fleet orchestration: throughput vs workers, time-to-recover."""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.bench import e21_fleet
+
+
+def test_e21_fleet(benchmark, show):
+    with tempfile.TemporaryDirectory() as tmp:
+        table, rows = benchmark.pedantic(
+            e21_fleet, args=(tmp,), rounds=1, iterations=1
+        )
+    show(
+        table,
+        "e21_fleet.txt",
+        extra={"rows": rows},
+    )
+    # Scheduling must not leak into physics: every pool width reproduces
+    # the serial sweep's ledgers byte-for-byte, as does the faulted run.
+    assert all(r["ledgers_identical"] for r in rows)
+    # Recovery is only worth its cost if the result is the same result:
+    # exactly one reap and one respawn (points + 1 spawns total).
+    recovery = next(r for r in rows if r["mode"].startswith("recovery"))
+    assert recovery["reaps"] == 1
+    assert recovery["spawns"] == recovery["points"] + 1

@@ -31,6 +31,7 @@ from repro.bench.e17_guard import e17_guard_overhead
 from repro.bench.e18_telemetry import e18_telemetry_overhead
 from repro.bench.e19_batch import e19_batch
 from repro.bench.e20_store import e20_store
+from repro.bench.e21_fleet import e21_fleet
 
 __all__ = [
     "e11_discretizations",
@@ -43,6 +44,7 @@ __all__ = [
     "e18_telemetry_overhead",
     "e19_batch",
     "e20_store",
+    "e21_fleet",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

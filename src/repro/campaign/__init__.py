@@ -49,6 +49,7 @@ from repro.campaign.runner import (
     ConfigMismatchError,
     HMCCampaign,
     MeasurementCampaign,
+    RetryDeadlineExceeded,
     RetryPolicy,
     run_resilient,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "LedgerError",
     "MEASUREMENTS",
     "MeasurementCampaign",
+    "RetryDeadlineExceeded",
     "RetryPolicy",
     "corrupt_checkpoint",
     "flip_bit",

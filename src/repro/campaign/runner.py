@@ -24,7 +24,9 @@ exponentially, and restarts the segment from the last good checkpoint.
 from __future__ import annotations
 
 import json
+import random
 import time
+import zlib
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -58,6 +60,7 @@ __all__ = [
     "HMCCampaign",
     "MeasurementCampaign",
     "MEASUREMENTS",
+    "RetryDeadlineExceeded",
     "RetryPolicy",
     "run_resilient",
 ]
@@ -481,17 +484,54 @@ class MeasurementCampaign:
 # -- the supervisor loop ------------------------------------------------------
 
 
+class RetryDeadlineExceeded(RuntimeError):
+    """The retry loop's total-deadline budget ran out before success.
+
+    Raised *instead of* sleeping when the next backoff would cross
+    :attr:`RetryPolicy.deadline`; the triggering failure rides along as
+    ``__cause__``, so callers see both why the attempt failed and why the
+    supervisor refused to keep trying.
+    """
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff for segment restarts."""
+    """Bounded retry with deterministic exponential backoff for restarts.
+
+    ``jitter`` decorrelates the restart stampede of a fleet (every backed-
+    off worker sleeping exactly ``base * factor**k`` seconds retries in
+    lockstep) while staying replayable: the jitter fraction is a pure hash
+    of ``(jitter_seed, key, attempt)``, so the same policy object hands the
+    same schedule to the same slot on every resume.  Pass the design-point
+    index (or any stable slot id) as ``key``.
+
+    ``deadline`` caps the *total* wall-clock a supervised slot may spend
+    across all attempts: a retry whose backoff would cross it raises
+    :class:`RetryDeadlineExceeded` instead of sleeping, so unbounded
+    backoff can never stall a fleet slot forever.
+    """
 
     max_retries: int = 3
     backoff_base: float = 0.1
     backoff_factor: float = 2.0
     backoff_max: float = 5.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
+    deadline: float | None = None
 
-    def delay(self, attempt: int) -> float:
-        return min(self.backoff_base * self.backoff_factor**attempt, self.backoff_max)
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry ``attempt`` (0-based) of slot ``key``.
+
+        The exponential ramp is capped at ``backoff_max`` first; the
+        seeded jitter then scales by up to ``1 + jitter``, so the worst
+        case is ``backoff_max * (1 + jitter)`` — bounded either way.
+        """
+        base = min(self.backoff_base * self.backoff_factor**attempt, self.backoff_max)
+        if self.jitter:
+            token = f"{self.jitter_seed}:{int(key)}:{int(attempt)}".encode()
+            u = random.Random(zlib.crc32(token)).random()
+            base *= 1.0 + self.jitter * u
+        return base
 
 
 def run_resilient(
@@ -503,6 +543,8 @@ def run_resilient(
     on_failure=None,
     progress=None,
     guard: GuardPolicy | str | None = None,
+    clock=time.monotonic,
+    retry_key: int = 0,
 ) -> CampaignSummary:
     """Supervise ``campaign.run`` through faults: teardown, back off, resume.
 
@@ -517,9 +559,15 @@ def run_resilient(
     ``RuntimeError``, so a ``detect``-level campaign that trips a guard is
     torn down and resumed from its last good checkpoint here — supervisor-
     level healing even without ``REPRO_GUARD=heal``.
+
+    With ``retry.deadline`` set, the loop also tracks total supervised
+    wall-clock (``clock``, injectable for tests): a retry whose backoff
+    would cross the deadline raises :class:`RetryDeadlineExceeded` from
+    the triggering failure instead of sleeping.
     """
     retry = retry if retry is not None else RetryPolicy()
     failures = 0
+    started = clock()
     while True:
         comm = comm_factory() if comm_factory is not None else None
         try:
@@ -532,9 +580,18 @@ def run_resilient(
             failures += 1
             if failures > retry.max_retries:
                 raise
+            delay = retry.delay(failures - 1, key=retry_key)
+            if (
+                retry.deadline is not None
+                and clock() - started + delay > retry.deadline
+            ):
+                raise RetryDeadlineExceeded(
+                    f"retry deadline {retry.deadline:.3g}s would be exceeded "
+                    f"after {failures} failure(s); last: {e}"
+                ) from e
             if on_failure is not None:
                 on_failure(failures, e)
-            sleep(retry.delay(failures - 1))
+            sleep(delay)
         finally:
             if comm is not None:
                 comm.close()

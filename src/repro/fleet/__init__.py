@@ -1,0 +1,59 @@
+"""Fleet layer: fault-tolerant orchestration of many concurrent campaigns.
+
+The production scheduler on top of :mod:`repro.campaign`: a deterministic
+design-point sweep (explicit grid or Latin hypercube over β / volume /
+integrator parameters) executed as a supervised process pool of
+:class:`~repro.campaign.runner.HMCCampaign` workers, built for commodity
+farms where worker loss is routine (the DESY-cluster operating regime):
+
+:mod:`repro.fleet.design`
+    deterministic sweep enumeration — :func:`~repro.fleet.design.grid_design`
+    and seeded :func:`~repro.fleet.design.latin_hypercube_design`, stable
+    per-point seeds and names;
+:mod:`repro.fleet.worker`
+    the supervised worker entry point (``python -m repro.fleet.worker``):
+    one campaign segment with per-trajectory heartbeats;
+:mod:`repro.fleet.orchestrator`
+    :class:`~repro.fleet.orchestrator.Fleet` — heartbeat liveness, SIGKILL
+    reaping, deterministic retry/backoff with seeded jitter, quarantine
+    with fault evidence, crash-consistent sweep journal, ensemble-store /
+    measurement-cache registration, fleet-wide telemetry aggregation;
+:mod:`repro.fleet.plan`
+    :class:`~repro.fleet.plan.FleetFaultPlan` — deterministic fleet-level
+    fault injection (kill worker *k* at trajectory *n*, hang worker *m*,
+    poison a point, SIGKILL the orchestrator itself).
+
+The headline guarantee (enforced by tests): killed or hung workers resume
+bit-identically from their last checkpoint; a point that keeps failing is
+quarantined with evidence instead of sinking the sweep; a SIGKILLed
+*orchestrator* resumes the whole sweep re-running zero completed points.
+"""
+
+from repro.fleet.design import (
+    DesignPoint,
+    grid_design,
+    latin_hypercube_design,
+    point_seed,
+)
+from repro.fleet.orchestrator import (
+    Fleet,
+    FleetError,
+    FleetSummary,
+    QUARANTINE_FILE,
+)
+from repro.fleet.plan import FleetFaultPlan
+from repro.fleet.worker import read_heartbeat, write_heartbeat
+
+__all__ = [
+    "DesignPoint",
+    "Fleet",
+    "FleetError",
+    "FleetFaultPlan",
+    "FleetSummary",
+    "QUARANTINE_FILE",
+    "grid_design",
+    "latin_hypercube_design",
+    "point_seed",
+    "read_heartbeat",
+    "write_heartbeat",
+]

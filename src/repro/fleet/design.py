@@ -1,0 +1,164 @@
+"""Deterministic design-point sweeps over campaign parameters.
+
+A *design point* is one :class:`~repro.campaign.runner.CampaignConfig` in a
+multi-campaign sweep: a (β, volume, integrator-step) coordinate of the
+parameter space the fleet explores, plus a stable index and name.  Two
+constructions, both pure functions of their arguments:
+
+* :func:`grid_design` — the explicit cartesian product of parameter lists
+  (the classic production layout: one stream per coupling per volume);
+* :func:`latin_hypercube_design` — a seeded Latin-hypercube sample over
+  continuous ranges (the js-sims-bayes campaign layout: space-filling
+  coverage for emulator training), stratified so every 1/n-quantile bin of
+  every dimension is hit exactly once.
+
+Determinism is load-bearing: the fleet journal records *indices*, so a
+resumed orchestrator must rebuild byte-identical configs from the same
+arguments.  Both constructors derive per-point RNG seeds from the base
+seed and the point index, so no two streams share a Markov chain and a
+re-enumeration reproduces the exact same seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.campaign.runner import CampaignConfig
+
+__all__ = ["DesignPoint", "grid_design", "latin_hypercube_design", "point_seed"]
+
+#: Stride between derived per-point seeds (a prime, so index collisions with
+#: user-chosen nearby base seeds are unlikely).
+_SEED_STRIDE = 7919
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """The RNG seed of design point ``index`` under ``base_seed``."""
+    return int(base_seed) + _SEED_STRIDE * int(index)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One campaign of a sweep: a stable index plus its frozen config."""
+
+    index: int
+    config: CampaignConfig
+
+    @property
+    def name(self) -> str:
+        """Directory-safe stable identifier (``point_0003``)."""
+        return f"point_{self.index:04d}"
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "config": self.config.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DesignPoint":
+        return cls(index=int(d["index"]), config=CampaignConfig.from_dict(d["config"]))
+
+
+def grid_design(
+    shapes,
+    betas,
+    n_trajectories: int,
+    step_sizes=(0.1,),
+    n_steps: int = 10,
+    integrator: str = "leapfrog",
+    seed: int = 12345,
+    start: str = "hot",
+    checkpoint_interval: int = 5,
+    keep_checkpoints: int = 3,
+) -> list[DesignPoint]:
+    """The explicit grid: every (shape, β, step-size) combination, in order.
+
+    ``shapes`` may be one 4-tuple or a list of them.  Points are indexed in
+    ``product(shapes, betas, step_sizes)`` order, so the same arguments
+    always enumerate the same sweep.
+    """
+    if shapes and isinstance(shapes[0], int):
+        shapes = [tuple(shapes)]
+    points = []
+    for index, (shape, beta, step_size) in enumerate(
+        product(shapes, betas, step_sizes)
+    ):
+        points.append(
+            DesignPoint(
+                index=index,
+                config=CampaignConfig(
+                    shape=tuple(shape),
+                    beta=float(beta),
+                    n_trajectories=int(n_trajectories),
+                    step_size=float(step_size),
+                    n_steps=int(n_steps),
+                    integrator=integrator,
+                    seed=point_seed(seed, index),
+                    start=start,
+                    checkpoint_interval=int(checkpoint_interval),
+                    keep_checkpoints=int(keep_checkpoints),
+                ),
+            )
+        )
+    if not points:
+        raise ValueError("empty design: no shapes/betas given")
+    return points
+
+
+def latin_hypercube_design(
+    n_points: int,
+    shape,
+    n_trajectories: int,
+    beta_range: tuple[float, float],
+    step_size_range: tuple[float, float] | None = None,
+    n_steps: int = 10,
+    integrator: str = "leapfrog",
+    seed: int = 12345,
+    start: str = "hot",
+    checkpoint_interval: int = 5,
+    keep_checkpoints: int = 3,
+) -> list[DesignPoint]:
+    """A seeded Latin-hypercube sample over the continuous parameter ranges.
+
+    Each continuous dimension (β, and optionally the integrator step size)
+    is split into ``n_points`` equal bins; a seeded permutation assigns one
+    bin per point per dimension and the coordinate is drawn uniformly
+    inside its bin — so the marginals are stratified and the whole design
+    is a pure function of ``(n_points, ranges, seed)``.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    def _sample(lo: float, hi: float) -> np.ndarray:
+        bins = rng.permutation(n_points)
+        u = rng.random(n_points)
+        return lo + (hi - lo) * (bins + u) / n_points
+
+    betas = _sample(*beta_range)
+    step_sizes = (
+        _sample(*step_size_range)
+        if step_size_range is not None
+        else np.full(n_points, 0.1)
+    )
+    points = []
+    for index in range(n_points):
+        points.append(
+            DesignPoint(
+                index=index,
+                config=CampaignConfig(
+                    shape=tuple(shape),
+                    beta=float(betas[index]),
+                    n_trajectories=int(n_trajectories),
+                    step_size=float(step_sizes[index]),
+                    n_steps=int(n_steps),
+                    integrator=integrator,
+                    seed=point_seed(seed, index),
+                    start=start,
+                    checkpoint_interval=int(checkpoint_interval),
+                    keep_checkpoints=int(keep_checkpoints),
+                ),
+            )
+        )
+    return points

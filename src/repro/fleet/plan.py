@@ -1,0 +1,131 @@
+"""Fleet-level deterministic fault injection.
+
+The fleet analogue of :class:`repro.campaign.faults.FaultPlan`: a schedule
+of *which worker dies how*, expressed against design-point indices and
+trajectory boundaries so recovery tests are exact.  Three worker fault
+kinds plus one orchestrator fault:
+
+* ``kill_worker(point, at_trajectory)`` — the worker process SIGKILLs
+  itself just before that trajectory runs (node loss mid-stream);
+* ``hang_worker(point, at_trajectory)`` — the worker stops heartbeating
+  and sleeps at that boundary (the wedged-but-alive failure the heartbeat
+  timeout exists for);
+* ``fail_worker(point, at_trajectory)`` — the worker raises and exits
+  nonzero at that boundary on *every* attempt (a poisoned design point;
+  drives the quarantine path);
+* ``sigkill_orchestrator_after(n)`` — the orchestrator SIGKILLs itself
+  after journaling its ``n``-th point completion (the crash-consistent
+  sweep-resume test).
+
+Worker faults are *attempt-scoped*: a kill or hang scheduled for attempt 0
+is not re-armed when the reaped worker respawns, so one scheduled fault
+models one failure incident, not an infinite crash loop — the same
+consumed-once discipline as the campaign-level plan, made explicit because
+each attempt is a fresh process with no memory of the last one.
+``fail_worker`` defaults to every attempt (``attempts=None``) because its
+job is to *never* succeed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["FleetFaultPlan"]
+
+
+class FleetFaultPlan:
+    """Deterministic, attempt-aware fault schedule for a fleet sweep."""
+
+    def __init__(self) -> None:
+        self._worker_faults: list[dict] = []
+        self._orch_after: int | None = None
+        self._orch_fired = False
+
+    # -- scheduling ------------------------------------------------------------
+
+    def kill_worker(
+        self, point: int, at_trajectory: int, attempt: int = 0
+    ) -> "FleetFaultPlan":
+        """SIGKILL the worker of ``point`` before trajectory ``at_trajectory``
+        on attempt ``attempt`` (0 = the first spawn)."""
+        self._worker_faults.append(
+            {
+                "kind": "sigkill",
+                "point": int(point),
+                "step": int(at_trajectory),
+                "attempts": (int(attempt),),
+            }
+        )
+        return self
+
+    def hang_worker(
+        self,
+        point: int,
+        at_trajectory: int,
+        attempt: int = 0,
+        hang_seconds: float = 3600.0,
+    ) -> "FleetFaultPlan":
+        """Stop the worker's heartbeat at a boundary: it sleeps
+        ``hang_seconds`` without journaling, so only the supervisor's
+        liveness check can end it."""
+        self._worker_faults.append(
+            {
+                "kind": "hang",
+                "point": int(point),
+                "step": int(at_trajectory),
+                "attempts": (int(attempt),),
+                "seconds": float(hang_seconds),
+            }
+        )
+        return self
+
+    def fail_worker(
+        self, point: int, at_trajectory: int = 0, attempts=None
+    ) -> "FleetFaultPlan":
+        """Crash the worker (nonzero exit) at a boundary; by default on
+        every attempt, so the point exhausts its retries and quarantines."""
+        self._worker_faults.append(
+            {
+                "kind": "crash",
+                "point": int(point),
+                "step": int(at_trajectory),
+                "attempts": None if attempts is None else tuple(int(a) for a in attempts),
+            }
+        )
+        return self
+
+    def sigkill_orchestrator_after(self, n_finished: int) -> "FleetFaultPlan":
+        """SIGKILL the orchestrator right after its ``n_finished``-th point
+        completion is journaled (counted across resumes, so a resumed fleet
+        whose journal already holds ``n`` finishes does not re-fire)."""
+        self._orch_after = int(n_finished)
+        return self
+
+    # -- consumption -----------------------------------------------------------
+
+    def worker_args(self, point: int, attempt: int) -> list[str]:
+        """The ``repro.fleet.worker`` CLI flags that arm this spawn's faults."""
+        args: list[str] = []
+        for f in self._worker_faults:
+            if f["point"] != point:
+                continue
+            if f["attempts"] is not None and attempt not in f["attempts"]:
+                continue
+            if f["kind"] == "sigkill":
+                args += ["--sigkill-at", str(f["step"])]
+            elif f["kind"] == "crash":
+                args += ["--crash-at", str(f["step"])]
+            elif f["kind"] == "hang":
+                args += ["--hang-at", str(f["step"]), "--hang-seconds", str(f["seconds"])]
+        return args
+
+    def fire_on_finish(self, total_finished: int) -> None:
+        """Called by the orchestrator after each journaled point finish."""
+        if (
+            self._orch_after is not None
+            and not self._orch_fired
+            and total_finished >= self._orch_after
+        ):
+            self._orch_fired = True
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -13,6 +13,7 @@ with links streamed once per iteration.
 from repro.serve.queue import (
     BATCH_NRHS_ENV_VAR,
     DEFAULT_MAX_NRHS,
+    QueueStopped,
     SolveQueue,
     SolveRequest,
 )
@@ -20,6 +21,7 @@ from repro.serve.queue import (
 __all__ = [
     "BATCH_NRHS_ENV_VAR",
     "DEFAULT_MAX_NRHS",
+    "QueueStopped",
     "SolveQueue",
     "SolveRequest",
 ]

@@ -58,9 +58,20 @@ from repro.telemetry.state import STATE
 __all__ = [
     "BATCH_NRHS_ENV_VAR",
     "DEFAULT_MAX_NRHS",
+    "QueueStopped",
     "SolveRequest",
     "SolveQueue",
 ]
+
+
+class QueueStopped(RuntimeError):
+    """The queue was stopped without draining; this request was abandoned.
+
+    Delivered through the pending futures by :meth:`SolveQueue.stop`
+    (``drain=False``) so callers blocked in ``future.result()`` fail fast
+    with an explicit cause instead of waiting forever on a solve that no
+    dispatcher will ever run.
+    """
 
 #: Maximum RHS columns coalesced into one batched solve.
 BATCH_NRHS_ENV_VAR = "REPRO_BATCH_NRHS"
@@ -232,7 +243,15 @@ class SolveQueue:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the dispatcher; by default drain remaining requests first."""
+        """Stop the dispatcher (idempotent — extra calls are no-ops).
+
+        With ``drain`` (the default) everything still pending is solved
+        synchronously first.  With ``drain=False`` pending requests are
+        *failed*: their futures receive :class:`QueueStopped`, so a caller
+        blocked in ``future.result()`` gets an explicit error rather than
+        a hang.  Either way the queue is reusable afterwards via
+        :meth:`start`.
+        """
         self._stop_flag.set()
         self._wake.set()
         thread, self._thread = self._thread, None
@@ -240,6 +259,16 @@ class SolveQueue:
             thread.join()
         if drain:
             self.flush()
+            return
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for req in pending:
+            req.future.set_exception(
+                QueueStopped(
+                    f"solve queue stopped undrained with {len(pending)} "
+                    f"request(s) pending"
+                )
+            )
 
     def _dispatch_loop(self) -> None:
         while not self._stop_flag.is_set():
@@ -255,6 +284,8 @@ class SolveQueue:
                     get_registry().add(
                         "serve/coalesce_wait", time.perf_counter() - waited0
                     )
+            if self._stop_flag.is_set():
+                break  # stop() owns the pending queue now: drain or fail
             self.flush()
 
     def __enter__(self) -> "SolveQueue":

@@ -1,0 +1,311 @@
+"""Run, resume, and inspect fault-tolerant multi-campaign fleets.
+
+Usage::
+
+    # run a 4-point β grid, 2 workers, registering configs into a store
+    python -m repro.tools.fleet run --dir ./fleet \\
+        --shape 4 4 4 4 --betas 5.5 5.6 5.7 5.8 --trajectories 20 \\
+        --workers 2 --store ./store
+
+    # Latin-hypercube design instead of a grid
+    python -m repro.tools.fleet run --dir ./fleet \\
+        --shape 4 4 4 4 --lhc 6 --beta-range 5.4 5.9 --trajectories 20
+
+    # resume after any crash (worker or orchestrator) — same command or:
+    python -m repro.tools.fleet resume --dir ./fleet
+
+    # what happened so far? / what was given up on?
+    python -m repro.tools.fleet status --dir ./fleet
+    python -m repro.tools.fleet quarantine-ls --dir ./fleet
+
+A rerun (or ``resume``) after an orchestrator SIGKILL replays the fleet
+journal and re-runs zero completed design points; killed or hung workers
+resume bit-identically from their last checkpoint.  Exit codes: 0 — every
+point completed; 3 — the sweep completed but some points are quarantined
+(inspect them with ``quarantine-ls``).
+
+Fault injection (deterministic, for the CI smoke and recovery drills):
+``--kill-point I:N`` SIGKILLs point *I*'s worker before trajectory *N*
+(first attempt), ``--hang-point I:N`` wedges it silently at *N*,
+``--fail-point I`` makes point *I* crash on every attempt (drives the
+quarantine path), and ``--crash-after-points K`` SIGKILLs the
+*orchestrator* right after its *K*-th journaled point completion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.campaign.runner import RetryPolicy
+from repro.fleet import (
+    Fleet,
+    FleetFaultPlan,
+    grid_design,
+    latin_hypercube_design,
+)
+from repro.util.report import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def _point_at(value: str, default_step: int = 0) -> tuple[int, int]:
+    """Parse ``I:N`` (point:trajectory) CLI fault coordinates."""
+    if ":" in value:
+        i, n = value.split(":", 1)
+        return int(i), int(n)
+    return int(value), default_step
+
+
+def _add_pool_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=2, help="concurrent worker processes")
+    p.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of liveness silence before a worker is reaped",
+    )
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument("--backoff-base", type=float, default=0.1)
+    p.add_argument(
+        "--jitter", type=float, default=0.1, help="seeded backoff jitter fraction"
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-point total supervised wall-clock cap (seconds)",
+    )
+    p.add_argument("--store", type=Path, default=None, help="EnsembleStore root")
+    p.add_argument("--quiet", action="store_true")
+    p.add_argument(
+        "--telemetry", choices=("off", "counters", "trace"), default=None
+    )
+    p.add_argument("--kill-point", metavar="I:N", action="append", default=[])
+    p.add_argument("--hang-point", metavar="I:N", action="append", default=[])
+    p.add_argument("--fail-point", metavar="I[:N]", action="append", default=[])
+    p.add_argument(
+        "--hang-seconds",
+        type=float,
+        default=3600.0,
+        help="how long an injected hang sleeps (tests shorten this)",
+    )
+    p.add_argument("--crash-after-points", type=int, metavar="K", default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start (or resume) a design-point sweep")
+    run.add_argument("--dir", type=Path, required=True, help="fleet directory")
+    run.add_argument("--shape", type=int, nargs=4, metavar=("T", "Z", "Y", "X"))
+    run.add_argument("--betas", type=float, nargs="+", help="grid design couplings")
+    run.add_argument(
+        "--step-sizes", type=float, nargs="+", default=[0.1], help="grid step sizes"
+    )
+    run.add_argument("--lhc", type=int, metavar="N", help="Latin-hypercube points")
+    run.add_argument("--beta-range", type=float, nargs=2, metavar=("LO", "HI"))
+    run.add_argument(
+        "--step-size-range", type=float, nargs=2, metavar=("LO", "HI"), default=None
+    )
+    run.add_argument("--trajectories", type=int)
+    run.add_argument("--n-steps", type=int, default=10)
+    run.add_argument("--checkpoint-interval", type=int, default=5)
+    run.add_argument("--seed", type=int, default=12345)
+    _add_pool_args(run)
+
+    res = sub.add_parser("resume", help="resume the stored sweep (design frozen)")
+    res.add_argument("--dir", type=Path, required=True, help="fleet directory")
+    _add_pool_args(res)
+
+    stat = sub.add_parser("status", help="per-point sweep state")
+    stat.add_argument("--dir", type=Path, required=True, help="fleet directory")
+
+    ql = sub.add_parser("quarantine-ls", help="list quarantined points + evidence")
+    ql.add_argument("--dir", type=Path, required=True, help="fleet directory")
+    ql.add_argument(
+        "--evidence", action="store_true", help="print per-attempt fault evidence"
+    )
+    return p
+
+
+def _build_design(args):
+    if args.lhc is not None:
+        if args.shape is None or args.beta_range is None or args.trajectories is None:
+            raise SystemExit("--lhc needs --shape, --beta-range and --trajectories")
+        return latin_hypercube_design(
+            args.lhc,
+            tuple(args.shape),
+            args.trajectories,
+            beta_range=tuple(args.beta_range),
+            step_size_range=(
+                tuple(args.step_size_range) if args.step_size_range else None
+            ),
+            n_steps=args.n_steps,
+            seed=args.seed,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    if args.betas is not None:
+        if args.shape is None or args.trajectories is None:
+            raise SystemExit("--betas needs --shape and --trajectories")
+        return grid_design(
+            tuple(args.shape),
+            args.betas,
+            args.trajectories,
+            step_sizes=args.step_sizes,
+            n_steps=args.n_steps,
+            seed=args.seed,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    return None  # resume from the stored fleet.json
+
+
+def _build_fault(args) -> FleetFaultPlan | None:
+    plan = FleetFaultPlan()
+    armed = False
+    for value in args.kill_point:
+        i, n = _point_at(value)
+        plan.kill_worker(i, n)
+        armed = True
+    for value in args.hang_point:
+        i, n = _point_at(value)
+        plan.hang_worker(i, n, hang_seconds=args.hang_seconds)
+        armed = True
+    for value in args.fail_point:
+        i, n = _point_at(value)
+        plan.fail_worker(i, n)
+        armed = True
+    if args.crash_after_points is not None:
+        plan.sigkill_orchestrator_after(args.crash_after_points)
+        armed = True
+    return plan if armed else None
+
+
+def _run_fleet(args, points) -> int:
+    if args.telemetry is not None:
+        from repro.telemetry import set_mode
+
+        set_mode(args.telemetry)
+    retry = RetryPolicy(
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        jitter=args.jitter,
+        deadline=args.deadline,
+    )
+    fleet = Fleet(
+        args.dir,
+        points,
+        max_workers=args.workers,
+        heartbeat_timeout=args.heartbeat_timeout,
+        retry=retry,
+        store=args.store,
+    )
+
+    progress = None
+    if not args.quiet:
+        def progress(event, index, record):  # noqa: E306 - tiny CLI callback
+            detail = ""
+            if event == "reap":
+                detail = f" ({record.get('reason')}, rc={record.get('exit_code')})"
+            elif event == "finish":
+                detail = (
+                    f" ({record.get('trajectories')} traj, "
+                    f"plaq={record.get('plaquette'):.6f})"
+                    if record.get("plaquette") is not None
+                    else ""
+                )
+            elif event == "quarantine":
+                detail = f" ({record.get('reason')}, {record.get('attempts')} attempts)"
+            elif event == "spawn":
+                detail = f" (attempt {record.get('attempt')}, pid {record.get('pid')})"
+            print(f"point {index:3d}: {event}{detail}")
+
+    summary = fleet.run(fault=_build_fault(args), progress=progress)
+    print(
+        f"fleet complete: {summary.completed}/{summary.n_points} points done "
+        f"({summary.skipped_done} already journaled, {summary.recovered} recovered "
+        f"without respawn), {summary.spawns} spawn(s), {summary.reaps} reap(s), "
+        f"wall {summary.wall_time:.1f}s"
+    )
+    if summary.quarantined:
+        print(
+            f"warning: {len(summary.quarantined)} point(s) quarantined: "
+            f"{summary.quarantined} -> {fleet.directory / 'quarantine.json'}"
+        )
+        return 3
+    return 0
+
+
+def _cmd_run(args) -> int:
+    return _run_fleet(args, _build_design(args))
+
+
+def _cmd_resume(args) -> int:
+    return _run_fleet(args, None)
+
+
+def _cmd_status(args) -> int:
+    fleet = Fleet(args.dir)
+    t = Table(
+        f"fleet {args.dir}",
+        ["point", "name", "beta", "shape", "state", "traj", "attempts"],
+    )
+    counts: dict[str, int] = {}
+    for row in fleet.status():
+        counts[row["state"]] = counts.get(row["state"], 0) + 1
+        t.add_row(
+            [
+                row["point"],
+                row["name"],
+                f"{row['beta']:.4f}",
+                "x".join(str(d) for d in row["shape"]),
+                row["state"],
+                f"{row['trajectories']}/{row['target']}",
+                row["attempts"],
+            ]
+        )
+    print(t.render())
+    print(", ".join(f"{k}: {v}" for k, v in sorted(counts.items())))
+    return 0
+
+
+def _cmd_quarantine_ls(args) -> int:
+    fleet = Fleet(args.dir)
+    entries = fleet.quarantined_points()
+    if not entries:
+        print("no quarantined points")
+        return 0
+    for e in entries:
+        cfg = e["config"]
+        print(
+            f"{e['name']} (point {e['point']}): {e['reason']} after "
+            f"{e['attempts']} attempt(s) — beta={cfg['beta']}, "
+            f"shape={'x'.join(str(d) for d in cfg['shape'])}"
+        )
+        if args.evidence:
+            for ev in e.get("evidence", []):
+                print(
+                    f"  attempt {ev.get('attempt')}: {ev.get('reason')} "
+                    f"rc={ev.get('exit_code')} "
+                    f"heartbeat={json.dumps(ev.get('heartbeat'))}"
+                )
+                for line in ev.get("log_tail", [])[-3:]:
+                    print(f"    | {line}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    return _cmd_quarantine_ls(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from repro.campaign import (
     Ledger,
     LedgerError,
     MeasurementCampaign,
+    RetryDeadlineExceeded,
     RetryPolicy,
     corrupt_checkpoint,
     read_checkpoint,
@@ -389,6 +390,54 @@ class TestResilientRunner:
     def test_backoff_schedule(self):
         r = RetryPolicy(max_retries=5, backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3)
         assert [r.delay(i) for i in range(4)] == [0.1, 0.2, 0.3, 0.3]
+
+    def test_backoff_jitter_seeded_and_bounded(self):
+        r = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.5, jitter_seed=3)
+        # replayable: the schedule is a pure function of (seed, key, attempt)
+        assert [r.delay(i, key=7) for i in range(4)] == [
+            r.delay(i, key=7) for i in range(4)
+        ]
+        # bounded: base <= delay <= base * (1 + jitter)
+        plain = RetryPolicy(backoff_base=0.1, backoff_max=10.0)
+        for i in range(4):
+            assert plain.delay(i) <= r.delay(i, key=7) <= plain.delay(i) * 1.5
+        # decorrelated across keys and seeds (no restart stampede)
+        assert r.delay(0, key=7) != r.delay(0, key=8)
+        r2 = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.5, jitter_seed=4)
+        assert r.delay(0, key=7) != r2.delay(0, key=7)
+
+    def test_deadline_caps_total_retry_budget(self):
+        class AlwaysFails:
+            def run(self, **kwargs):
+                raise RuntimeError("persistent")
+
+        clock = iter(float(t) for t in range(100)).__next__
+        slept: list[float] = []
+        with pytest.raises(RetryDeadlineExceeded) as excinfo:
+            run_resilient(
+                AlwaysFails(),
+                retry=RetryPolicy(
+                    max_retries=100, backoff_base=1.0, backoff_factor=1.0,
+                    deadline=3.0,
+                ),
+                sleep=slept.append,
+                clock=clock,
+            )
+        # the failure that tripped the deadline is chained as the cause
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # retries stop well before max_retries: the budget, not the count, binds
+        assert len(slept) < 5
+
+    def test_deadline_none_never_trips(self, tmp_path):
+        camp = HMCCampaign(tmp_path / "a", tiny_config())
+        fault = FaultPlan().crash_at(1)
+        summary = run_resilient(
+            camp,
+            fault=fault,
+            retry=RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.5),
+            sleep=lambda s: None,
+        )
+        assert summary.retries == 1
 
 
 # -- journaled measurement sweeps ---------------------------------------------

@@ -17,7 +17,12 @@ import pytest
 from repro.dirac.wilson import WilsonDirac
 from repro.fields import GaugeField, point_source
 from repro.lattice import Lattice4D
-from repro.serve import BATCH_NRHS_ENV_VAR, DEFAULT_MAX_NRHS, SolveQueue
+from repro.serve import (
+    BATCH_NRHS_ENV_VAR,
+    DEFAULT_MAX_NRHS,
+    QueueStopped,
+    SolveQueue,
+)
 from repro.solvers import solve_wilson_batch
 from repro.solvers.base import SolveResult
 from repro.telemetry import full_reset, set_mode, telemetry_mode
@@ -212,6 +217,38 @@ class TestSolves:
         # The window is far longer than the test: stop() must drain.
         queue.stop(drain=True)
         assert future.result(timeout=0).converged
+
+    def test_stop_undrained_fails_pending_futures(self, lat, dirac):
+        queue = SolveQueue(max_nrhs=12, coalesce_window=10.0)
+        queue.start()
+        futures = [queue.submit(dirac, b) for b in _sources(lat, 2)]
+        queue.stop(drain=False)
+        for f in futures:
+            with pytest.raises(QueueStopped, match="stopped undrained"):
+                f.result(timeout=0)
+        assert queue.pending_count() == 0
+
+    def test_stop_is_idempotent(self, lat, dirac):
+        queue = SolveQueue(max_nrhs=12, coalesce_window=10.0)
+        queue.start()
+        future = queue.submit(dirac, _sources(lat, 1)[0])
+        queue.stop(drain=True)
+        queue.stop(drain=True)  # never started again: must be a no-op
+        queue.stop(drain=False)
+        assert future.result(timeout=0).converged
+        # and the queue is reusable after a stop
+        queue.start()
+        again = queue.submit(dirac, _sources(lat, 1)[0])
+        queue.stop(drain=True)
+        assert again.result(timeout=0).converged
+
+    def test_stop_undrained_without_start(self, lat, dirac):
+        # drain=False must also fail requests that never saw a dispatcher
+        queue = SolveQueue(max_nrhs=12)
+        future = queue.submit(dirac, _sources(lat, 1)[0])
+        queue.stop(drain=False)
+        with pytest.raises(QueueStopped):
+            future.result(timeout=0)
 
     def test_solver_failure_delivered_to_futures(self, lat, dirac):
         def broken(op, B, tol, max_iter):
