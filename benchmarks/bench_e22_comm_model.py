@@ -1,0 +1,45 @@
+"""E22 — comm-model validation: modelled vs measured efficiency per backend.
+
+One table, both real backends: the machine model runs on a spec calibrated
+from each backend's *measured* link (memcpy for shm, a framed loopback
+socket for tcp) and its prediction sits next to the measured efficiency at
+every rank count — the two-transport anchor of the petascale
+extrapolations.
+"""
+
+from __future__ import annotations
+
+from repro.bench import e22_comm_model
+
+
+def test_e22_comm_model(benchmark, show):
+    table, points = benchmark.pedantic(
+        e22_comm_model,
+        kwargs=dict(
+            global_shape=(16, 16, 16, 32), rank_counts=(1, 2), repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        table,
+        "e22_comm_model.txt",
+        extra={
+            "backends": sorted({p.comm for p in points}),
+            "link_bandwidth": {p.comm: p.link_bandwidth for p in points},
+            "link_latency": {p.comm: p.link_latency for p in points},
+            "wall_time_s": [p.time_dslash for p in points],
+        },
+    )
+    by_comm = {}
+    for p in points:
+        by_comm.setdefault(p.comm, []).append(p)
+    assert set(by_comm) == {"shm", "tcp"}
+    for comm, rows in by_comm.items():
+        # Baselines and model columns populated for every backend.
+        assert rows[0].ranks == 1 and rows[0].efficiency == 1.0
+        assert all(r.modeled_efficiency > 0 for r in rows)
+    # The calibrated tcp link is never faster than the memcpy link.
+    assert (
+        by_comm["tcp"][0].link_bandwidth <= by_comm["shm"][0].link_bandwidth
+    )

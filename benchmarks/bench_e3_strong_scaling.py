@@ -38,3 +38,30 @@ def test_e3_strong_scaling_measured(benchmark, show):
     assert all(p.sites_per_s > 0 for p in points)
     # The model columns are populated for every measured rank count.
     assert all(p.modeled_efficiency > 0 for p in points)
+
+
+def test_e3_strong_scaling_measured_tcp(benchmark, show):
+    """Socket backend at production-like volume: global 16x16x16x32 keeps
+    every rank's local block >= 16^4 at 2 ranks."""
+    table, points = benchmark.pedantic(
+        e3_strong_scaling_measured,
+        kwargs=dict(
+            global_shape=(16, 16, 16, 32), rank_counts=(1, 2), repeats=2, comm="tcp"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        table,
+        "e3_strong_scaling_measured_tcp.txt",
+        extra={
+            "comm": "tcp",
+            "sites_per_s": [p.sites_per_s for p in points],
+            "wall_time_s": [p.time_dslash for p in points],
+            "iterations": points[0].iterations,
+        },
+    )
+    assert points[0].speedup == 1.0
+    assert points[0].efficiency == 1.0
+    assert all(min(p.local_shape) >= 16 for p in points)
+    assert all(p.modeled_efficiency > 0 for p in points)

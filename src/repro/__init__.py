@@ -48,7 +48,14 @@ from repro.solvers import (
     cg_spmd,
     SolveResult,
 )
-from repro.comm import RankGrid, VirtualComm, ShmComm, make_comm, TorusTopology
+from repro.comm import (
+    RankGrid,
+    VirtualComm,
+    ShmComm,
+    TcpComm,
+    make_comm,
+    TorusTopology,
+)
 from repro.hmc import (
     HMC,
     WilsonGaugeAction,
@@ -111,6 +118,7 @@ __all__ = [
     "RankGrid",
     "VirtualComm",
     "ShmComm",
+    "TcpComm",
     "make_comm",
     "TorusTopology",
     "HMC",

@@ -32,6 +32,7 @@ from repro.bench.e18_telemetry import e18_telemetry_overhead
 from repro.bench.e19_batch import e19_batch
 from repro.bench.e20_store import e20_store
 from repro.bench.e21_fleet import e21_fleet
+from repro.bench.e22_comm_model import e22_comm_model
 
 __all__ = [
     "e11_discretizations",
@@ -45,6 +46,7 @@ __all__ = [
     "e19_batch",
     "e20_store",
     "e21_fleet",
+    "e22_comm_model",
     "e1_dslash_performance",
     "e2_weak_scaling",
     "e2_weak_scaling_measured",

@@ -1,0 +1,115 @@
+"""E22 — comm-model validation: modelled vs measured efficiency, per backend.
+
+The machine model's petascale extrapolations rest on its ability to turn a
+link spec (bandwidth, latency) plus a communication trace into a scaling
+curve.  With two *real* process-parallel backends on one host — ``shm``
+(memcpy links) and ``tcp`` (loopback socket links, the commodity-Ethernet
+regime of the DESY cluster studies) — the model can be anchored twice: we
+calibrate one spec per backend from measured link parameters
+(:func:`repro.machine.calibrate.host_comm_spec`), run the strong-scaling
+experiment for real on each backend, and report modelled and measured
+efficiency side by side in one table.  The tcp rows sit below the shm rows
+at the same rank count exactly as the calibrated specs predict — the
+Ethernet latency/bandwidth wall the paper's production runs had to escape
+with a torus interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.e2_e3_measured import e3_strong_scaling_measured
+from repro.machine.calibrate import host_comm_spec
+from repro.machine.spec import MachineSpec
+from repro.util import Table
+
+__all__ = ["CommModelPoint", "e22_comm_model"]
+
+
+@dataclass(frozen=True)
+class CommModelPoint:
+    """One (backend, rank-count) row of the comm-model validation table."""
+
+    comm: str
+    ranks: int
+    link_bandwidth: float  # calibrated link bytes/s for this backend
+    link_latency: float  # calibrated per-message latency [s]
+    time_dslash: float  # measured best-of-repeats apply wall time [s]
+    efficiency: float  # measured parallel efficiency
+    modeled_efficiency: float  # model on the backend-calibrated spec
+    model_error: float  # modeled - measured
+
+    def row(self) -> list:
+        return [
+            self.comm,
+            self.ranks,
+            self.link_bandwidth / 1e9,
+            self.link_latency * 1e6,
+            self.time_dslash,
+            self.efficiency,
+            self.modeled_efficiency,
+            self.model_error,
+        ]
+
+    @staticmethod
+    def columns() -> list[str]:
+        return [
+            "comm",
+            "ranks",
+            "link [GB/s]",
+            "latency [us]",
+            "t_dslash [s]",
+            "eff (meas)",
+            "eff (model)",
+            "model-meas",
+        ]
+
+
+def e22_comm_model(
+    global_shape: tuple[int, int, int, int] = (16, 16, 16, 16),
+    rank_counts: tuple[int, ...] = (1, 2),
+    comms: tuple[str, ...] = ("shm", "tcp"),
+    repeats: int = 2,
+    mass: float = 0.1,
+    specs: dict[str, MachineSpec] | None = None,
+) -> tuple[Table, list[CommModelPoint]]:
+    """Measured-vs-modelled strong scaling for every named backend, one table.
+
+    For each backend a spec is calibrated from that backend's *measured*
+    link (memcpy for shm, a framed loopback socket for tcp) and the same
+    compute rate, then :func:`e3_strong_scaling_measured` runs the real
+    experiment against it.  ``specs`` lets a caller inject pre-calibrated
+    specs (tests; cross-host runs where the link was measured elsewhere).
+    """
+    points: list[CommModelPoint] = []
+    for comm in comms:
+        spec = (specs or {}).get(comm) or host_comm_spec(comm)
+        _, measured = e3_strong_scaling_measured(
+            global_shape=global_shape,
+            rank_counts=rank_counts,
+            comm=comm,
+            repeats=repeats,
+            mass=mass,
+            spec=spec,
+        )
+        for p in measured:
+            points.append(
+                CommModelPoint(
+                    comm=comm,
+                    ranks=p.ranks,
+                    link_bandwidth=spec.link_bandwidth,
+                    link_latency=spec.latency,
+                    time_dslash=p.time_dslash,
+                    efficiency=p.efficiency,
+                    modeled_efficiency=p.modeled_efficiency,
+                    model_error=p.modeled_efficiency - p.efficiency,
+                )
+            )
+    title = (
+        "E22 — comm-model validation: modelled vs measured efficiency, "
+        f"global {'x'.join(map(str, global_shape))}, backends {'/'.join(comms)}"
+    )
+    table = Table(title, CommModelPoint.columns())
+    for p in points:
+        table.add_row(p.row())
+    return table, points

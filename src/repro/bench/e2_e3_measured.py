@@ -16,9 +16,8 @@ makes that gap explicit rather than hiding it.
 
 from __future__ import annotations
 
-import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,7 +25,7 @@ from repro.comm import make_comm, resolve_comm_name
 from repro.dirac.decomposed import DecomposedWilsonDirac
 from repro.fields import GaugeField, random_fermion
 from repro.lattice import Lattice4D
-from repro.machine.calibrate import calibrate_python_node
+from repro.machine.calibrate import host_comm_spec, measured_memcpy_bandwidth
 from repro.machine.scaling import balanced_rank_grid, strong_scaling, weak_scaling
 from repro.machine.spec import MachineSpec
 from repro.util import Table
@@ -82,40 +81,21 @@ class MeasuredPoint:
         ]
 
 
-def _measured_memcpy_bandwidth(nbytes: int = 1 << 25) -> float:
-    """Bytes/s of a large in-memory copy — the shm backend's "link"."""
-    src = np.empty(nbytes, dtype=np.uint8)
-    dst = np.empty_like(src)
-    np.copyto(dst, src)  # warm-up
-    best = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        np.copyto(dst, src)
-        best = min(best, time.perf_counter() - t0)
-    return nbytes / best
+#: Kept for callers that predate :func:`repro.machine.calibrate.host_comm_spec`.
+_measured_memcpy_bandwidth = measured_memcpy_bandwidth
 
 
 def host_shm_spec(
     lattice: Lattice4D | None = None, repeats: int = 3
 ) -> MachineSpec:
-    """A spec for *this* host running one rank process per "node".
+    """A spec for *this* host running one shm rank process per "node".
 
-    Compute side: the measured numpy Dslash rate (as E9's calibration).
-    Network side: a halo "message" between shm ranks is a memcpy through
-    shared memory, so the link bandwidth is the measured copy bandwidth
-    and the latency is one command/ack pipe round-trip (~tens of us).
+    Now a thin alias of
+    :func:`repro.machine.calibrate.host_comm_spec` with ``comm_name="shm"``
+    — the calibration layer owns per-backend link measurement (memcpy for
+    shm, a real loopback socket for tcp).
     """
-    base = calibrate_python_node(lattice, repeats=repeats)
-    return replace(
-        base,
-        name="shm-host (calibrated)",
-        link_bandwidth=_measured_memcpy_bandwidth(),
-        n_links=1,
-        latency=50e-6,
-        per_hop_latency=0.0,
-        torus_dims=0,
-        cores_per_node=os.cpu_count() or 1,
-    )
+    return host_comm_spec("shm", lattice=lattice, repeats=repeats)
 
 
 def _time_apply(op: DecomposedWilsonDirac, psi: np.ndarray, repeats: int) -> float:
@@ -202,7 +182,7 @@ def e2_weak_scaling_measured(
         configs.append((n, dims, global_shape))
     measured = _measure_points(configs, comm_name, mass, repeats, rng)
 
-    spec = spec or host_shm_spec(Lattice4D(local_shape))
+    spec = spec or host_comm_spec(comm_name, Lattice4D(local_shape))
     modeled = {p.nodes: p.efficiency for p in weak_scaling(spec, local_shape, counts)}
 
     base_rate = None
@@ -257,7 +237,7 @@ def e3_strong_scaling_measured(
         configs.append((n, grid.dims, tuple(global_shape)))
     measured = _measure_points(configs, comm_name, mass, repeats, rng)
 
-    spec = spec or host_shm_spec()
+    spec = spec or host_comm_spec(comm_name)
     modeled = {
         p.nodes: p.efficiency for p in strong_scaling(spec, global_shape, counts)
     }

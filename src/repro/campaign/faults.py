@@ -134,7 +134,11 @@ class FaultPlan:
         return self
 
     def kill_rank_at(self, step: int, rank: int) -> "FaultPlan":
-        """SIGKILL ShmComm worker ``rank`` just before trajectory ``step``."""
+        """Kill comm rank ``rank`` just before trajectory ``step``.
+
+        Works with any backend exposing ``kill_rank`` (shm: SIGKILL the
+        worker process; tcp: SIGKILL a local rank or sever an external
+        rank's control socket)."""
         self._faults.append(
             {"kind": "kill_rank", "step": int(step), "rank": int(rank), "fired": False}
         )
@@ -181,7 +185,8 @@ class FaultPlan:
             elif kind == "kill_rank":
                 if comm is None or not hasattr(comm, "kill_rank"):
                     raise InjectedCrash(
-                        f"kill_rank fault at step {step} but no ShmComm attached"
+                        f"kill_rank fault at step {step} but no process-parallel "
+                        "comm (shm/tcp) attached"
                     )
                 comm.kill_rank(f["rank"])
             elif kind == "corrupt":
@@ -201,7 +206,8 @@ class FaultPlan:
 
 
 class FaultInjector:
-    """Command-level fault schedule consumed by ``ShmComm._command`` hooks.
+    """Command-level fault schedule consumed by the ``_command`` hooks of
+    every process-parallel backend (``ShmComm``, ``TcpComm``).
 
     Faults key on the comm's monotonically increasing command index (the
     first command a comm issues has index 1) and a rank, so a test can say

@@ -558,7 +558,11 @@ def run_resilient(
     Guard faults compose naturally: :class:`~repro.guard.SDCDetected` is a
     ``RuntimeError``, so a ``detect``-level campaign that trips a guard is
     torn down and resumed from its last good checkpoint here — supervisor-
-    level healing even without ``REPRO_GUARD=heal``.
+    level healing even without ``REPRO_GUARD=heal``.  So does the whole
+    communicator fault taxonomy (:class:`~repro.comm.CommError` and its
+    subclasses — connect refusal, recv timeout, peer death, torn frame):
+    all of them are ``RuntimeError``\\ s, so a socket fault on the ``tcp``
+    backend costs one retry with a fresh communicator, not a hang.
 
     With ``retry.deadline`` set, the loop also tracks total supervised
     wall-clock (``clock``, injectable for tests): a retry whose backoff

@@ -3,7 +3,7 @@
 The paper's runs decompose the global lattice over a 4-D Cartesian grid of
 MPI ranks mapped onto the BlueGene/Q torus.  We reproduce the *data path*
 exactly — scatter to rank-local arrays, pack faces, exchange halos, stencil
-over the interior — behind one communicator protocol with two backends:
+over the interior — behind one communicator protocol with several backends:
 
 ``VirtualComm``
     executes all ranks sequentially inside one process, recording every
@@ -12,20 +12,37 @@ over the interior — behind one communicator protocol with two backends:
 ``ShmComm``
     runs each rank as a real OS process with rank-local fields in shared
     memory, so halo exchange and the interior/boundary-split Dslash
-    execute genuinely in parallel on the host's cores — the measured mode
-    of the scaling benchmarks.
+    execute genuinely in parallel on the host's cores;
+``TcpComm``
+    runs each rank as an OS process reachable only over TCP sockets with
+    CRC-framed messages, so ranks may live on *different hosts* — the
+    cross-machine measured mode (``python -m repro.comm.tcp --connect``
+    joins ranks from elsewhere);
+``MpiComm``
+    the same master-driven interface over ``mpi4py`` when it is
+    importable (a tuned-fabric fast path; absent otherwise).
 
 Select with :func:`make_comm` / the ``REPRO_COMM`` environment variable.
-The substitution is validated by tests that require the decomposed Dslash
-to agree bit-for-bit across backends and with the single-domain kernel for
-every rank grid.
+The substitution is validated by the backend-parametrised parity suite
+(``tests/test_comm_backends.py``), which requires the decomposed Dslash,
+halo exchange, reductions, and CG iterates to agree bit-for-bit across
+backends and with the single-domain kernel for every rank grid.
 """
 
 from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace, HaloEvent, CollectiveEvent, ComputeEvent
 from repro.comm.vcomm import VirtualComm
 from repro.comm.shm import ShmComm
+from repro.comm.tcp import TcpComm
 from repro.comm.decomposition import Decomposition
+from repro.comm.errors import (
+    CommError,
+    CommConnectError,
+    CommPeerError,
+    CommTimeoutError,
+    CommUnavailableError,
+    TornFrameError,
+)
 from repro.comm.halo import (
     HaloField,
     halo_exchange,
@@ -36,6 +53,7 @@ from repro.comm.halo import (
     face_index,
     record_exchange_trace,
 )
+from repro.comm.lifecycle import close_live_comms
 from repro.comm.registry import (
     COMM_ENV_VAR,
     DEFAULT_COMM,
@@ -53,7 +71,14 @@ __all__ = [
     "ComputeEvent",
     "VirtualComm",
     "ShmComm",
+    "TcpComm",
     "Decomposition",
+    "CommError",
+    "CommConnectError",
+    "CommPeerError",
+    "CommTimeoutError",
+    "CommUnavailableError",
+    "TornFrameError",
     "HaloField",
     "halo_exchange",
     "add_halo",
@@ -62,6 +87,7 @@ __all__ = [
     "face_bytes_of_shape",
     "face_index",
     "record_exchange_trace",
+    "close_live_comms",
     "COMM_ENV_VAR",
     "DEFAULT_COMM",
     "available_comms",

@@ -1,0 +1,255 @@
+"""Transport-agnostic rank-process command executor.
+
+A distributed backend's rank process is a loop: receive a command from the
+master, act on rank-local blocks (allocate, fill, exchange ghosts with
+peers, stencil), acknowledge.  Everything about that loop except *how
+bytes move* is identical whether the peers talk over TCP sockets
+(:mod:`repro.comm.tcp`) or an MPI communicator (:mod:`repro.comm.mpi`), so
+it lives here once: :class:`RankExecutor` holds the block table and the
+command semantics, and a small :class:`PeerTransport` object supplies
+``begin_sends``/``recv``.
+
+The halo exchange is the pull-free *push* formulation of the same data
+motion as :func:`repro.comm.halo.halo_exchange`: along each decomposed
+axis the rank sends its ``src_hi`` interior slab to the ``+mu`` neighbour
+(who stores it as ``ghost_lo``) and its ``src_lo`` slab to the ``-mu``
+neighbour (``ghost_hi``); undecomposed axes are local copies.  Slab
+indices come from :func:`~repro.comm.halo.face_index` — the single source
+of truth shared with the sequential and shm backends — and boundary
+phases are applied by the *receiver* after the copy, in the same order as
+``halo_exchange``, so the filled arrays are bit-identical across every
+backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+import numpy as np
+
+from repro.comm.frame import face_tag
+from repro.comm.halo import face_index
+from repro.comm.rankgrid import RankGrid
+
+__all__ = ["PeerTransport", "RankExecutor"]
+
+
+class PeerTransport:
+    """Duck-typed peer data mover (see :class:`repro.comm.tcp._SocketPeers`).
+
+    ``send_one(peer_rank, tag, bytes)`` pushes one tagged message (run on
+    a helper thread by the executor so sends and receives overlap);
+    ``recv(peer_rank, tag)`` blocks for one tagged message from a peer,
+    raising a typed :class:`~repro.comm.errors.CommError` on timeout,
+    peer death, or a torn frame.
+    """
+
+    def send_one(self, peer: int, tag: int, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, peer: int, tag: int) -> bytes:
+        raise NotImplementedError
+
+
+class _ThreadedSends:
+    """Run a transport's blocking sends on a helper thread.
+
+    Concurrent send/recv is what makes the exchange deadlock-free: every
+    rank can be mid-``sendall`` of a face larger than the socket buffer
+    while its main thread drains the peer's frames.
+    """
+
+    def __init__(self, send_one, sends: list[tuple[int, int, bytes]]) -> None:
+        self._error: BaseException | None = None
+
+        def run() -> None:
+            try:
+                for peer, tag, payload in sends:
+                    send_one(peer, tag, payload)
+            except BaseException as e:  # re-raised by join() on the main thread
+                self._error = e
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def join(self) -> None:
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+
+
+class RankExecutor:
+    """One rank's block table + command semantics, independent of transport."""
+
+    def __init__(self, rank: int, grid: RankGrid, peers: PeerTransport) -> None:
+        from repro.kernels.halo import HaloStencil
+
+        self.rank = int(rank)
+        self.grid = grid
+        self.peers = peers
+        self.blocks: dict[str, np.ndarray] = {}
+        self._stencil = HaloStencil()
+
+    # -- block lifecycle ------------------------------------------------------
+
+    def declare(self, specs: list[tuple[str, tuple[int, ...], str]]) -> None:
+        """Allocate one zero-filled rank-local block per ``(key, shape, dtype)``."""
+        for key, shape, dtype in specs:
+            self.blocks[key] = np.zeros(tuple(shape), dtype=np.dtype(dtype))
+
+    def upload(self, key: str, raw: bytes) -> None:
+        """Replace a block's bytes with the master's mirror (full array)."""
+        arr = self.blocks[key]
+        arr[...] = np.frombuffer(raw, dtype=arr.dtype).reshape(arr.shape)
+
+    def download(self, key: str) -> bytes:
+        """The block's current bytes, for the master's mirror."""
+        return self.blocks[key].tobytes()
+
+    # -- halo exchange --------------------------------------------------------
+
+    def exchange(
+        self,
+        key: str,
+        width: int,
+        site_axis_start: int,
+        phases: tuple[complex, complex, complex, complex] | None,
+    ) -> None:
+        """Fill this rank's ghost shells: peer messages + local wraps.
+
+        Sends run on a helper thread while this thread receives, so every
+        rank makes progress regardless of face size; receives are matched
+        by ``(peer, tag)`` so the two faces a width-2 grid axis routes over
+        one link cannot be confused.
+        """
+        arr = self.blocks[key]
+        ndim, s0, w, rank, grid = arr.ndim, site_axis_start, width, self.rank, self.grid
+
+        sends: list[tuple[int, int, bytes]] = []
+        for mu in range(4):
+            nb_hi = grid.neighbor(rank, mu, +1)
+            if nb_hi == rank:
+                continue
+            nb_lo = grid.neighbor(rank, mu, -1)
+            src_hi = arr[face_index(ndim, s0, w, mu, "src_hi")]
+            src_lo = arr[face_index(ndim, s0, w, mu, "src_lo")]
+            sends.append((nb_hi, face_tag(mu, True), np.ascontiguousarray(src_hi).tobytes()))
+            sends.append((nb_lo, face_tag(mu, False), np.ascontiguousarray(src_lo).tobytes()))
+        pending = _ThreadedSends(self.peers.send_one, sends) if sends else None
+
+        try:
+            for mu in range(4):
+                nb_hi = grid.neighbor(rank, mu, +1)
+                nb_lo = grid.neighbor(rank, mu, -1)
+                ghost_hi = arr[face_index(ndim, s0, w, mu, "ghost_hi")]
+                ghost_lo = arr[face_index(ndim, s0, w, mu, "ghost_lo")]
+                if nb_hi == rank:
+                    # Undecomposed axis: the wrap is a local copy, exactly as
+                    # the sequential exchange performs it.
+                    ghost_hi[...] = arr[face_index(ndim, s0, w, mu, "src_lo")]
+                else:
+                    buf = self.peers.recv(nb_hi, face_tag(mu, False))
+                    ghost_hi[...] = np.frombuffer(buf, arr.dtype).reshape(ghost_hi.shape)
+                if phases is not None and grid.crosses_boundary(rank, mu, +1):
+                    ghost_hi *= phases[mu]
+                if nb_lo == rank:
+                    ghost_lo[...] = arr[face_index(ndim, s0, w, mu, "src_hi")]
+                else:
+                    buf = self.peers.recv(nb_lo, face_tag(mu, True))
+                    ghost_lo[...] = np.frombuffer(buf, arr.dtype).reshape(ghost_lo.shape)
+                if phases is not None and grid.crosses_boundary(rank, mu, -1):
+                    ghost_lo *= np.conj(phases[mu])
+        finally:
+            if pending is not None:
+                pending.join()
+
+    # -- compute --------------------------------------------------------------
+
+    def dagger(self, u_key: str, udag_key: str) -> None:
+        from repro.kernels.halo import dagger_halo_links
+
+        dagger_halo_links(self.blocks[u_key], out=self.blocks[udag_key])
+
+    def dslash(
+        self,
+        psi_key: str,
+        out_key: str,
+        u_key: str,
+        udag_key: str,
+        width: int,
+        phases: tuple[complex, complex, complex, complex],
+        diag: float,
+        overlap: bool,
+    ) -> None:
+        """One Wilson apply on this rank: exchange + box stencil.
+
+        With ``overlap`` the deep interior (which reads no ghosts) is
+        stenciled *before* the exchange, hiding face traffic behind
+        compute; the result is bit-identical either way because the boxes
+        partition the interior.
+        """
+        from repro.kernels.halo import full_box, split_boxes
+
+        psi = self.blocks[psi_key]
+        out = self.blocks[out_key]
+        u = self.blocks[u_key]
+        udag = self.blocks[udag_key]
+        local = out.shape[:4]
+        if overlap:
+            deep, boundary = split_boxes(local, width)
+            if deep is not None:
+                self._stencil.wilson_box_into(out, u, udag, psi, width, deep, diag)
+            self.exchange(psi_key, width, 0, phases)
+            for box in boundary:
+                self._stencil.wilson_box_into(out, u, udag, psi, width, box, diag)
+        else:
+            self.exchange(psi_key, width, 0, phases)
+            self._stencil.wilson_box_into(out, u, udag, psi, width, full_box(local), diag)
+
+    # -- command dispatch -----------------------------------------------------
+
+    def execute(self, cmd: tuple, raw: bytes | None):
+        """Run one command; return ``(meta, raw_reply)`` for the ack."""
+        op = cmd[0]
+        if op == "declare":
+            self.declare(cmd[1])
+        elif op == "upload":
+            self.upload(cmd[1], raw)
+        elif op == "download":
+            return None, self.download(cmd[1])
+        elif op == "exchange":
+            _, key, width, s0, phases = cmd
+            self.exchange(key, width, s0, phases)
+        elif op == "exchange_frame":
+            _, key, width, s0, phases = cmd
+            self.upload(key, raw)
+            self.exchange(key, width, s0, phases)
+            return None, self.download(key)
+        elif op == "dagger":
+            self.dagger(cmd[1], cmd[2])
+        elif op == "dslash_frame":
+            _, psi_key, out_key, u_key, udag_key, width, phases, diag, overlap = cmd
+            self.upload(psi_key, raw)
+            self.dslash(psi_key, out_key, u_key, udag_key, width, phases, diag, overlap)
+            return None, self.download(out_key)
+        elif op == "reduce":
+            return None, raw  # gather-at-root echo: the master sums in rank order
+        elif op == "sleep":
+            # Fault-drill hook: wedge this rank so the master's recv deadline
+            # (not a deadlock) decides the outcome.
+            import time
+
+            time.sleep(float(cmd[1]))
+        elif op == "telemetry":
+            from repro.telemetry import registry as _tm_registry
+
+            return _tm_registry.snapshot(), None
+        else:
+            raise ValueError(f"unknown rank command {op!r}")
+        return None, None
+
+
+def format_rank_error() -> str:
+    """The traceback string a rank ships back in an ``error`` ack."""
+    return traceback.format_exc()

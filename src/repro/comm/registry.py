@@ -1,6 +1,6 @@
 """Communicator registry: named SPMD backends behind one protocol.
 
-Two backends, one data path:
+One data path, several transports:
 
 ``virtual``
     :class:`~repro.comm.VirtualComm` — all ranks sequential in one
@@ -11,15 +11,27 @@ Two backends, one data path:
     POSIX shared memory, real parallel halo exchange and overlapped
     Dslash.  Turns the E2/E3 scaling benchmarks from modelled into
     measured on the host's cores; bit-for-bit identical results.
+``tcp``
+    :class:`~repro.comm.tcp.TcpComm` — one OS process per rank over TCP
+    sockets with CRC-framed messages; ranks may join from *other hosts*
+    via ``python -m repro.comm.tcp --connect host:port``.  Bit-for-bit
+    identical results, hard timeouts, typed faults.
+``mpi``
+    :class:`~repro.comm.mpi.MpiComm` — same interface over ``mpi4py``
+    when it is importable (listed only then); requesting it without
+    ``mpi4py`` raises :class:`~repro.comm.errors.CommUnavailableError`.
 
 Selection precedence mirrors the kernel registry: explicit ``comm=``
 argument > ``REPRO_COMM`` environment variable > the ``virtual`` default.
+The docstrings and error messages here enumerate backends from one
+``_COMM_NAMES`` table so a new backend registers in exactly one place.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro.comm.errors import CommUnavailableError
 from repro.comm.rankgrid import RankGrid
 from repro.comm.trace import CommTrace
 from repro.comm.vcomm import VirtualComm
@@ -35,21 +47,49 @@ __all__ = [
 COMM_ENV_VAR = "REPRO_COMM"
 DEFAULT_COMM = "virtual"
 
-_COMM_NAMES = ("shm", "virtual")
+#: Every known backend name.  ``available_comms`` filters this by whether
+#: the backend's dependency imports (only ``mpi`` is conditional); error
+#: messages enumerate from here so they can never go stale.
+_COMM_NAMES = ("mpi", "shm", "tcp", "virtual")
+
+
+def _backend_importable(name: str) -> bool:
+    if name == "mpi":
+        from repro.comm.mpi import mpi_available
+
+        return mpi_available()
+    return True
 
 
 def available_comms() -> tuple[str, ...]:
-    """Registered communicator backend names, sorted."""
-    return _COMM_NAMES
+    """Instantiable communicator backend names, sorted.
+
+    Enumerated dynamically from the known-backend table, keeping only
+    those whose dependencies import in this environment (``mpi`` needs
+    ``mpi4py``; everything else is dependency-free).
+    """
+    return tuple(n for n in _COMM_NAMES if _backend_importable(n))
 
 
 def resolve_comm_name(name: str | None = None) -> str:
-    """Resolve a comm backend name: argument > ``$REPRO_COMM`` > default."""
+    """Resolve a comm backend name: argument > ``$REPRO_COMM`` > default.
+
+    Unknown names raise ``ValueError`` listing every known backend; a
+    known backend whose dependency is missing raises the typed
+    :class:`~repro.comm.errors.CommUnavailableError` instead, so callers
+    can distinguish a typo from a site-installation gap.
+    """
     if name is None:
         name = os.environ.get(COMM_ENV_VAR, "").strip() or DEFAULT_COMM
     if name not in _COMM_NAMES:
         raise ValueError(
-            f"unknown comm backend {name!r}; available: {available_comms()}"
+            f"unknown comm backend {name!r}; known: {_COMM_NAMES}, "
+            f"available here: {available_comms()}"
+        )
+    if not _backend_importable(name):
+        raise CommUnavailableError(
+            f"comm backend {name!r} is registered but its dependency is not "
+            f"importable in this environment; available: {available_comms()}"
         )
     return name
 
@@ -62,13 +102,18 @@ def make_comm(
 ):
     """Instantiate a communicator over ``grid`` by backend name.
 
-    ``shm`` communicators own worker processes and shared segments — close
-    them (``with make_comm(...) as comm:`` or ``comm.close()``) when done;
-    an ``atexit`` sweep (:func:`repro.comm.shm.close_live_comms`) backstops
-    drivers that die with one open.  ``shm``-only keyword arguments
-    (``timeout``, ``start_method``, ``fault_injector`` — the campaign
-    layer's fault-injection hook) are ignored by the ``virtual`` backend;
-    ``virtual`` communicators satisfy the same context protocol as a no-op.
+    Backends are the entries of :func:`available_comms` (currently
+    enumerated from ``_COMM_NAMES``; see the module docstring for what
+    each one is).  Process-owning backends (every name except
+    ``virtual``) own worker processes plus OS resources — close them
+    (``with make_comm(...) as comm:`` or ``comm.close()``) when done; a
+    shared ``atexit`` sweep (:func:`repro.comm.lifecycle.close_live_comms`)
+    backstops drivers that die with one open.  Backend-specific keyword
+    arguments (``timeout``, ``start_method``, ``fault_injector`` — the
+    campaign layer's fault-injection hook — and for ``tcp`` also
+    ``connect_timeout``, ``host``, ``port``, ``n_external``) are ignored
+    by the ``virtual`` backend; ``virtual`` communicators satisfy the
+    same context protocol as a no-op.
     """
     if not isinstance(grid, RankGrid):
         grid = RankGrid(tuple(grid))
@@ -77,6 +122,14 @@ def make_comm(
         from repro.comm.shm import ShmComm
 
         return ShmComm(grid, trace=trace, **kwargs)
+    if resolved == "tcp":
+        from repro.comm.tcp import TcpComm
+
+        return TcpComm(grid, trace=trace, **kwargs)
+    if resolved == "mpi":
+        from repro.comm.mpi import MpiComm
+
+        return MpiComm(grid, trace=trace, **kwargs)
     if trace is not None:
         return VirtualComm(grid, trace=trace)
     return VirtualComm(grid)

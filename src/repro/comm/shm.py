@@ -35,13 +35,11 @@ documented double-unlink workaround for Python < 3.13).
 
 from __future__ import annotations
 
-import atexit
 import os
 import signal
 import time
 import traceback
 import uuid
-import weakref
 import multiprocessing as mp
 from multiprocessing import shared_memory
 
@@ -61,24 +59,14 @@ from repro.lattice import Lattice4D
 from repro.telemetry import registry as _tm_registry
 from repro.telemetry.state import STATE
 
+from repro.comm.lifecycle import (
+    LIVE_COMMS as _LIVE_COMMS,  # re-export: pre-lifecycle callers import from here
+    close_live_comms,
+    discard_live_comm,
+    register_live_comm,
+)
+
 __all__ = ["ShmComm", "close_live_comms"]
-
-#: Every open ShmComm registers here; an ``atexit`` sweep closes stragglers
-#: so a crashing driver (unhandled exception, sys.exit mid-campaign) cannot
-#: leak ``/dev/shm`` segments or orphan worker processes.  A SIGKILLed
-#: master is unprotectable by definition — the campaign layer handles that
-#: case by reconnecting nothing and relying on segment names being
-#: PID-scoped and workers being daemonic.
-_LIVE_COMMS: "weakref.WeakSet[ShmComm]" = weakref.WeakSet()
-
-
-def close_live_comms() -> None:
-    """Close every still-open ShmComm (idempotent; registered atexit)."""
-    for comm in list(_LIVE_COMMS):
-        comm.close()
-
-
-atexit.register(close_live_comms)
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -260,7 +248,7 @@ class ShmComm:
         # kill a rank, delay an ack, or drop an ack at a chosen point.
         self._faults = fault_injector
         self._ncommands = 0
-        _LIVE_COMMS.add(self)
+        register_live_comm(self)
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(start_method)
@@ -553,7 +541,7 @@ class ShmComm:
             except Exception:
                 pass
         self._closed = True
-        _LIVE_COMMS.discard(self)
+        discard_live_comm(self)
         for pipe in self._pipes:
             try:
                 pipe.send(("stop",))

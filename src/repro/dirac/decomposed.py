@@ -85,11 +85,14 @@ class DecomposedWilsonDirac(LinearOperator):
     """Wilson operator evaluated SPMD over a rank grid.
 
     ``comm`` may be any communicator backend; the operator keys the
-    rank-parallel shared-memory path on the ``supports_shared_blocks``
-    capability flag.  ``overlap`` selects the interior/boundary-split
-    schedule (stencil the deep interior while the exchange is in flight);
-    it defaults to on for shared-block backends and off for the sequential
-    one, and is bit-exact either way.
+    rank-parallel block path on the ``supports_shared_blocks`` (shm: the
+    master sees worker memory directly) or ``supports_remote_blocks``
+    (tcp/mpi: master-side mirrors synchronised at command boundaries)
+    capability flags — the block API is identical either way.
+    ``overlap`` selects the interior/boundary-split schedule (stencil the
+    deep interior while the exchange is in flight); it defaults to on for
+    block backends and off for the sequential one, and is bit-exact
+    either way.
     """
 
     _WIDTH = 1
@@ -108,7 +111,10 @@ class DecomposedWilsonDirac(LinearOperator):
         self.comm = comm
         self.phases = tuple(phases)
         self.decomp: Decomposition = comm.decompose(gauge.lattice)
-        self._shared = bool(getattr(comm, "supports_shared_blocks", False))
+        self._shared = bool(
+            getattr(comm, "supports_shared_blocks", False)
+            or getattr(comm, "supports_remote_blocks", False)
+        )
         self.overlap = self._shared if overlap is None else bool(overlap)
         self.flops_per_apply = (
             WILSON_DSLASH_FLOPS_PER_SITE + 8 * 12

@@ -156,9 +156,15 @@ class GuardedOperator(LinearOperator):
             else None
         )
         comm = getattr(op, "comm", None)
+        # Block-level guarding works on any backend exposing per-rank block
+        # storage with checksums: shm (master views worker memory directly)
+        # or a remote-block backend like tcp (command-synchronised mirrors).
         self._shm = (
             comm is not None
-            and getattr(comm, "supports_shared_blocks", False)
+            and (
+                getattr(comm, "supports_shared_blocks", False)
+                or getattr(comm, "supports_remote_blocks", False)
+            )
             and hasattr(comm, "block_checksums")
             and hasattr(op, "_u_key")
         )

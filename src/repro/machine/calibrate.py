@@ -4,11 +4,20 @@ E9 validates the time model against reality at the only scale we can
 measure — one Python process.  We time the actual numpy Dslash, convert to
 a sustained flop rate, and construct a single-node spec whose model
 predictions must then match further measurements within a stated tolerance.
+
+With the process-parallel backends the *network* side becomes measurable
+too: an shm "link" is a memcpy through shared memory, a tcp "link" is a
+loopback (or real Ethernet) socket, and :func:`host_comm_spec` builds a
+per-backend spec from the measured bandwidth and latency of each — the
+second anchor the E22 comm-model validation compares modelled scaling
+curves against.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from dataclasses import replace
 
 from repro.dirac.hopping import hopping_term
 from repro.fields import GaugeField, random_fermion
@@ -16,7 +25,13 @@ from repro.lattice import Lattice4D
 from repro.machine.spec import MachineSpec
 from repro.util.flops import WILSON_DSLASH_FLOPS_PER_SITE
 
-__all__ = ["measured_dslash_rate", "calibrate_python_node"]
+__all__ = [
+    "measured_dslash_rate",
+    "calibrate_python_node",
+    "measured_memcpy_bandwidth",
+    "measured_tcp_link",
+    "host_comm_spec",
+]
 
 
 def measured_dslash_rate(
@@ -72,4 +87,122 @@ def calibrate_python_node(
         torus_dims=0,
         cores_per_node=1,
         overlap_fraction=0.0,
+    )
+
+
+def measured_memcpy_bandwidth(nbytes: int = 1 << 25, repeats: int = 3) -> float:
+    """Bytes/s of a large in-memory copy — the shm backend's "link"."""
+    import numpy as np
+
+    src = np.empty(nbytes, dtype=np.uint8)
+    dst = np.empty_like(src)
+    np.copyto(dst, src)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(dst, src)
+        best = min(best, time.perf_counter() - t0)
+    return nbytes / best
+
+
+def measured_tcp_link(
+    nbytes: int = 1 << 24, repeats: int = 3, host: str = "127.0.0.1"
+) -> tuple[float, float]:
+    """``(bytes/s, seconds)`` of the tcp backend's link on this host.
+
+    Bandwidth: one large CRC-framed transfer (frame + tiny ack) through a
+    real loopback TCP connection — the same framing the backend uses, so
+    header and checksum costs are charged.  Latency: best-of half
+    round-trip of an empty frame, the per-message cost the machine model's
+    ``latency`` parameter represents.
+    """
+    import socket
+    import threading
+
+    from repro.comm.frame import recv_frame, send_frame
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind((host, 0))
+    listener.listen(1)
+
+    def echo_acks() -> None:
+        peer, _ = listener.accept()
+        peer.settimeout(30.0)
+        peer.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while True:
+                recv_frame(peer)
+                send_frame(peer, b"")
+        except Exception:
+            pass
+        finally:
+            peer.close()
+
+    server = threading.Thread(target=echo_acks, daemon=True)
+    server.start()
+    sock = socket.create_connection(listener.getsockname()[:2], timeout=30.0)
+    sock.settimeout(30.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        payload = b"\0" * nbytes
+        send_frame(sock, payload)  # warm-up (buffers, congestion window)
+        recv_frame(sock)
+        best_bw = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            send_frame(sock, payload)
+            recv_frame(sock)
+            best_bw = min(best_bw, time.perf_counter() - t0)
+        best_rtt = float("inf")
+        for _ in range(max(8, repeats)):
+            t0 = time.perf_counter()
+            send_frame(sock, b"")
+            recv_frame(sock)
+            best_rtt = min(best_rtt, time.perf_counter() - t0)
+    finally:
+        sock.close()
+        listener.close()
+    return nbytes / best_bw, best_rtt / 2.0
+
+
+def host_comm_spec(
+    comm_name: str = "shm",
+    lattice: Lattice4D | None = None,
+    repeats: int = 3,
+) -> MachineSpec:
+    """A spec for *this* host running one rank process per "node" of the
+    named communicator backend.
+
+    Compute side: the measured numpy Dslash rate (as E9's calibration),
+    identical across backends.  Network side, per backend:
+
+    ``shm``
+        a halo "message" is a memcpy through shared memory — link
+        bandwidth is the measured copy bandwidth; latency is one
+        command/ack pipe round-trip (~tens of us);
+    ``tcp``
+        a halo message is a CRC-framed loopback socket transfer — link
+        bandwidth and per-message latency are both measured through a
+        real socket (:func:`measured_tcp_link`);
+    anything else (``virtual``, ``mpi`` without a fabric to measure)
+        falls back to the shm parameters, the host's only other real
+        transport.
+
+    The E22 driver feeds the resulting specs to the scaling model and
+    tabulates modelled vs measured efficiency per backend.
+    """
+    base = calibrate_python_node(lattice, repeats=repeats)
+    if comm_name == "tcp":
+        link_bw, latency = measured_tcp_link(repeats=repeats)
+    else:
+        link_bw, latency = measured_memcpy_bandwidth(repeats=repeats), 50e-6
+    return replace(
+        base,
+        name=f"{comm_name}-host (calibrated)",
+        link_bandwidth=link_bw,
+        n_links=1,
+        latency=latency,
+        per_hop_latency=0.0,
+        torus_dims=0,
+        cores_per_node=os.cpu_count() or 1,
     )

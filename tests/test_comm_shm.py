@@ -1,6 +1,12 @@
-"""ShmComm vs VirtualComm: the process-parallel backend must be a bit-exact
-drop-in — same ghosts, same sums, same operator output, same solver
-iterates, same trace — for every rank grid and boundary phase."""
+"""Shm-specific drills: ``/dev/shm`` segment lifecycle and fault injection.
+
+The backend bit-parity matrix (exchange/allreduce/operator/cg/overlap ×
+rank grids × boundary phases × dtypes) lives in
+``tests/test_comm_backends.py``, parametrised over every registered
+backend — this module keeps only what is inherently about the shared
+memory transport: segment unlinking, worker joining, and the
+fault-injection hooks exercised against real ``/dev/shm`` state.
+"""
 
 from __future__ import annotations
 
@@ -9,221 +15,44 @@ import os
 import numpy as np
 import pytest
 
-from repro.comm import (
-    COMM_ENV_VAR,
-    RankGrid,
-    ShmComm,
-    VirtualComm,
-    add_halo,
-    available_comms,
-    make_comm,
-    resolve_comm_name,
-)
-from repro.dirac.decomposed import DecomposedWilsonDirac
-from repro.fields import GaugeField, random_fermion
-from repro.lattice import Lattice4D
-from repro.solvers import cg_spmd
+from repro.comm import RankGrid, ShmComm
 
-GRIDS = [(1, 1, 1, 1), (2, 1, 1, 1), (1, 2, 1, 1), (2, 2, 1, 1), (4, 1, 1, 1)]
-PHASES = [(-1.0, 1.0, 1.0, 1.0), (1.0, 1.0, 1.0, 1.0)]
-
-LATTICE = Lattice4D((4, 4, 6, 4))
+LATTICE_SHAPE = (4, 4, 4, 4, 4, 3)
 
 
-@pytest.fixture(scope="module")
-def gauge():
-    return GaugeField.hot(LATTICE, rng=5)
-
-
-@pytest.fixture(scope="module")
-def psi():
-    return random_fermion(LATTICE, rng=9)
-
-
-def _noncorner_equal(a: np.ndarray, b: np.ndarray, w: int = 1) -> bool:
-    """Compare interior + all ghost faces (corners are never exchanged)."""
-    interior = tuple(slice(w, -w) for _ in range(4))
-    if not np.array_equal(a[interior], b[interior]):
-        return False
-    for mu in range(4):
-        for face in (slice(0, w), slice(-w, None)):
-            idx = [slice(w, -w)] * 4
-            idx[mu] = face
-            if not np.array_equal(a[tuple(idx)], b[tuple(idx)]):
-                return False
-    return True
-
-
-@pytest.mark.parametrize("dims", GRIDS)
-@pytest.mark.parametrize("phases", PHASES)
-class TestExchangeParity:
-    def test_shared_exchange_matches_virtual(self, dims, phases, psi):
-        grid = RankGrid(dims)
-        vcomm = VirtualComm(grid)
-        blocks = vcomm.decompose(LATTICE).scatter(psi)
-        vhalos = [add_halo(b, width=1) for b in blocks]
-        vcomm.exchange(vhalos, phases=phases)
-        with ShmComm(grid) as comm:
-            key = comm.new_key("psi")
-            views = comm.alloc_blocks(key, vhalos[0].data.shape, np.complex128)
-            interior = tuple(slice(1, -1) for _ in range(4))
-            for r, b in enumerate(blocks):
-                views[r][interior] = b
-            comm.exchange_shared(key, width=1, phases=phases)
-            for r in range(grid.nranks):
-                assert _noncorner_equal(vhalos[r].data, views[r]), f"rank {r}"
-
-
-@pytest.mark.parametrize("dims", GRIDS)
-class TestAllreduceParity:
-    def test_complex_sum_bit_identical(self, dims):
-        grid = RankGrid(dims)
-        rng = np.random.default_rng(3)
-        partials = [
-            complex(rng.normal(), rng.normal()) for _ in range(grid.nranks)
-        ]
-        want = VirtualComm(grid).allreduce_sum(partials)
-        with ShmComm(grid) as comm:
-            got = comm.allreduce_sum(partials)
-        assert complex(got) == complex(want)
-
-    def test_real_sum_returns_float(self, dims):
-        grid = RankGrid(dims)
-        partials = [0.1 * (r + 1) for r in range(grid.nranks)]
-        want = VirtualComm(grid).allreduce_sum(partials)
-        with ShmComm(grid) as comm:
-            got = comm.allreduce_sum(partials)
-        assert isinstance(got, float)
-        assert float(got) == float(want)
-
-    def test_wrong_partial_count_raises(self, dims):
-        grid = RankGrid(dims)
-        with ShmComm(grid) as comm:
-            with pytest.raises(ValueError):
-                comm.allreduce_sum([1.0] * (grid.nranks + 1))
-
-
-@pytest.mark.parametrize("dims", GRIDS)
-@pytest.mark.parametrize("phases", PHASES)
-class TestOperatorParity:
-    def test_apply_bit_identical(self, dims, phases, gauge, psi):
-        grid = RankGrid(dims)
-        vop = DecomposedWilsonDirac(gauge, 0.1, VirtualComm(grid), phases=phases)
-        want = vop.apply(psi)
-        with ShmComm(grid) as comm:
-            sop = DecomposedWilsonDirac(gauge, 0.1, comm, phases=phases)
-            got = sop.apply(psi)
-            assert np.array_equal(want, got)
-
-    def test_trace_identical(self, dims, phases, gauge, psi):
-        grid = RankGrid(dims)
-        vop = DecomposedWilsonDirac(gauge, 0.1, VirtualComm(grid), phases=phases)
-        vop.apply(psi)
-        with ShmComm(grid) as comm:
-            sop = DecomposedWilsonDirac(gauge, 0.1, comm, phases=phases)
-            sop.apply(psi)
-            assert comm.trace.events == vop.comm.trace.events
-
-
-@pytest.mark.parametrize("dims", GRIDS)
-class TestOverlapExactness:
-    def test_overlap_matches_nonoverlap_shm(self, dims, gauge, psi):
-        grid = RankGrid(dims)
-        with ShmComm(grid) as comm:
-            on = DecomposedWilsonDirac(gauge, 0.1, comm, overlap=True).apply(psi)
-            off = DecomposedWilsonDirac(gauge, 0.1, comm, overlap=False).apply(psi)
-        assert np.array_equal(on, off)
-
-    def test_overlap_default_follows_backend(self, dims, gauge):
-        grid = RankGrid(dims)
-        assert not DecomposedWilsonDirac(gauge, 0.1, VirtualComm(grid)).overlap
-        with ShmComm(grid) as comm:
-            assert DecomposedWilsonDirac(gauge, 0.1, comm).overlap
-
-    def test_overlap_matches_nonoverlap_virtual(self, dims, gauge, psi):
-        grid = RankGrid(dims)
-        on = DecomposedWilsonDirac(
-            gauge, 0.1, VirtualComm(grid), overlap=True
-        ).apply(psi)
-        off = DecomposedWilsonDirac(
-            gauge, 0.1, VirtualComm(grid), overlap=False
-        ).apply(psi)
-        assert np.array_equal(on, off)
-
-
-@pytest.mark.parametrize("dims", [(2, 1, 1, 1), (2, 2, 1, 1)])
-@pytest.mark.parametrize("phases", PHASES)
-class TestSolverParity:
-    def test_cg_spmd_bit_identical(self, dims, phases, gauge):
-        grid = RankGrid(dims)
-        b = random_fermion(LATTICE, rng=17)
-        vop = DecomposedWilsonDirac(gauge, 0.3, VirtualComm(grid), phases=phases)
-        want = cg_spmd(vop, b, tol=1e-6, max_iter=100)
-        with ShmComm(grid) as comm:
-            sop = DecomposedWilsonDirac(gauge, 0.3, comm, phases=phases)
-            got = cg_spmd(sop, b, tol=1e-6, max_iter=100)
-        assert want.converged and got.converged
-        assert want.iterations == got.iterations
-        assert want.history == got.history
-        assert np.array_equal(want.x, got.x)
-
-
-class TestRegistry:
-    def test_available(self):
-        assert available_comms() == ("shm", "virtual")
-
-    def test_default_is_virtual(self, monkeypatch):
-        monkeypatch.delenv(COMM_ENV_VAR, raising=False)
-        assert resolve_comm_name() == "virtual"
-        assert isinstance(make_comm((1, 1, 1, 1)), VirtualComm)
-
-    def test_env_selects_shm(self, monkeypatch):
-        monkeypatch.setenv(COMM_ENV_VAR, "shm")
-        assert resolve_comm_name() == "shm"
-        with make_comm((1, 1, 1, 1)) as comm:
-            assert isinstance(comm, ShmComm)
-
-    def test_argument_beats_env(self, monkeypatch):
-        monkeypatch.setenv(COMM_ENV_VAR, "shm")
-        assert resolve_comm_name("virtual") == "virtual"
-
-    def test_unknown_name_raises(self):
-        with pytest.raises(ValueError):
-            resolve_comm_name("mpi")
+def _segment_names(prefix: str) -> list[str]:
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        pytest.skip("no /dev/shm on this platform")
+    return [n for n in os.listdir(shm_dir) if prefix in n]
 
 
 class TestTeardown:
-    def _segment_names(self, prefix: str) -> list[str]:
-        shm_dir = "/dev/shm"
-        if not os.path.isdir(shm_dir):
-            pytest.skip("no /dev/shm on this platform")
-        return [n for n in os.listdir(shm_dir) if prefix in n]
-
     def test_close_unlinks_segments(self):
         comm = ShmComm(RankGrid((2, 1, 1, 1)))
         prefix = comm._prefix
-        comm.alloc_blocks(comm.new_key("x"), (4, 4, 4, 4, 4, 3), np.complex128)
-        assert self._segment_names(prefix)
+        comm.alloc_blocks(comm.new_key("x"), LATTICE_SHAPE, np.complex128)
+        assert _segment_names(prefix)
         comm.close()
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
 
     def test_failing_rank_body_does_not_leak(self):
         comm = ShmComm(RankGrid((2, 1, 1, 1)))
         prefix = comm._prefix
-        comm.alloc_blocks(comm.new_key("x"), (4, 4, 4, 4, 4, 3), np.complex128)
+        comm.alloc_blocks(comm.new_key("x"), LATTICE_SHAPE, np.complex128)
         with pytest.raises(RuntimeError, match="failed"):
             # Undeclared key: every worker raises inside the command body.
             comm._command(("exchange", "nosuchkey", 1, 0, None))
         # Workers survive a failed command and teardown still cleans up.
         comm.close()
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
 
     def test_close_is_idempotent_and_context_safe(self):
         with ShmComm(RankGrid((1, 1, 1, 1))) as comm:
             prefix = comm._prefix
             comm.allreduce_sum([1.0])
         comm.close()
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
         with pytest.raises(RuntimeError):
             comm.allreduce_sum([1.0])
 
@@ -237,12 +66,6 @@ class TestTeardown:
 class TestFaultTolerance:
     """Rank death, injected comm faults, and leak-free teardown under both."""
 
-    def _segment_names(self, prefix: str) -> list[str]:
-        shm_dir = "/dev/shm"
-        if not os.path.isdir(shm_dir):
-            pytest.skip("no /dev/shm on this platform")
-        return [n for n in os.listdir(shm_dir) if prefix in n]
-
     def test_ping_roundtrips_all_ranks(self):
         with ShmComm(RankGrid((2, 1, 1, 1))) as comm:
             assert comm.ping() is True
@@ -254,15 +77,15 @@ class TestFaultTolerance:
         # cleanup) must not leak /dev/shm segments once the master tears down.
         comm = ShmComm(RankGrid((2, 1, 1, 1)), timeout=10.0)
         prefix = comm._prefix
-        comm.alloc_blocks(comm.new_key("x"), (4, 4, 4, 4, 4, 3), np.complex128)
-        assert self._segment_names(prefix)
+        comm.alloc_blocks(comm.new_key("x"), LATTICE_SHAPE, np.complex128)
+        assert _segment_names(prefix)
         comm.kill_rank(1)
         assert comm.workers_alive() == [True, False]
         assert not comm.healthy
         with pytest.raises(RuntimeError, match="rank 1"):
             comm.ping()  # the dead rank surfaces as an error, not a hang
         comm.close()
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
 
     def test_injected_rank_kill_before_command(self):
         from repro.campaign.faults import FaultInjector
@@ -273,7 +96,7 @@ class TestFaultTolerance:
         with pytest.raises(RuntimeError, match="rank 0"):
             comm.ping()
         comm.close()
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
 
     def test_injected_drop_ack_keeps_pipes_in_sync(self):
         from repro.campaign.faults import FaultInjector
@@ -292,6 +115,8 @@ class TestFaultTolerance:
             assert comm.ping() is True
 
     def test_atexit_registry_closes_stragglers(self):
+        # _LIVE_COMMS / close_live_comms moved to repro.comm.lifecycle; the
+        # shm module re-exports both for pre-lifecycle callers.
         from repro.comm.shm import _LIVE_COMMS, close_live_comms
 
         comm = ShmComm(RankGrid((1, 1, 1, 1)))
@@ -300,4 +125,4 @@ class TestFaultTolerance:
         assert comm in _LIVE_COMMS
         close_live_comms()  # what atexit runs if the driver dies with comms open
         assert comm._closed
-        assert not self._segment_names(prefix)
+        assert not _segment_names(prefix)
